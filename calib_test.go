@@ -1,0 +1,38 @@
+package hetcc
+
+import (
+	"os"
+	"testing"
+)
+
+// TestCalibration prints the full figure series for manual calibration
+// against the paper's headline numbers (gated behind HETCC_CALIB).
+func TestCalibration(t *testing.T) {
+	if os.Getenv("HETCC_CALIB") == "" {
+		t.Skip("set HETCC_CALIB=1 to run")
+	}
+	for _, fig := range []struct {
+		name string
+		s    Scenario
+	}{{"Figure5 WCS", WCS}, {"Figure6 BCS", BCS}, {"Figure7 TCS", TCS}} {
+		pts, err := FigureRatios(fig.s, FigureOptions{Verify: true})
+		if err != nil {
+			t.Fatalf("%s: %v", fig.name, err)
+		}
+		t.Logf("== %s ==", fig.name)
+		for _, p := range pts {
+			t.Logf("exec=%d lines=%2d  dis=%8d sw=%8d prop=%8d  ratioSW=%.3f ratioProp=%.3f  speedupVsSW=%+.2f%%",
+				p.ExecTime, p.Lines, p.CyclesDisabled, p.CyclesSoftware, p.CyclesProposed,
+				p.RatioSoftware, p.RatioProposed, p.SpeedupVsSoftwarePct)
+		}
+	}
+	pts, err := Figure8(nil, FigureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("== Figure8 ==")
+	for _, p := range pts {
+		t.Logf("%s lines=%2d pen=%3d  sw=%8d prop=%8d ratio=%.3f speedup=%+.2f%%",
+			p.Scenario, p.Lines, p.MissPenalty, p.CyclesSoftware, p.CyclesProposed, p.RatioVsSoftware, p.SpeedupPct)
+	}
+}

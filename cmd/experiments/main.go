@@ -1,0 +1,192 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (DATE 2004) from the simulator, printing the same
+// rows/series the paper reports.
+//
+// Usage:
+//
+//	experiments                 # everything
+//	experiments -fig 6          # one figure (5, 6, 7 or 8)
+//	experiments -table 2        # one table (1, 2, 3 or 4)
+//	experiments -format csv     # machine-readable output
+//	experiments -iterations 16  # longer runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hetcc"
+	"hetcc/internal/platform"
+	"hetcc/internal/stats"
+)
+
+var (
+	figFlag    = flag.Int("fig", 0, "regenerate only this figure (5-8); 0 = all")
+	tableFlag  = flag.Int("table", 0, "regenerate only this table (1-4); 0 = all")
+	format     = flag.String("format", "text", "output format: text, csv or md")
+	iterations = flag.Int("iterations", 0, "critical-section entries per task (0 = default)")
+	seed       = flag.Uint64("seed", 0, "workload seed")
+	verify     = flag.Bool("verify", true, "run the golden-model checker in every simulation")
+	platFlag   = flag.String("platform", "pf2", "evaluation platform: pf2 (PowerPC755+ARM920T, the paper's) or pf3 (PowerPC755+Intel486)")
+)
+
+func main() {
+	flag.Parse()
+	out := os.Stdout
+	opts := hetcc.FigureOptions{Iterations: *iterations, Seed: *seed, Verify: *verify}
+	switch *platFlag {
+	case "pf2", "":
+		// the paper's measurement platform (default)
+	case "pf3":
+		// the paper predicts PF3 outperforms PF2 ("due to the absence of
+		// an interrupt service routine")
+		opts.Processors = platform.PPCI486()
+	default:
+		fatalIf(fmt.Errorf("unknown platform %q (want pf2 or pf3)", *platFlag))
+	}
+
+	if *figFlag != 0 && (*figFlag < 5 || *figFlag > 8) {
+		fatalIf(fmt.Errorf("-fig must be 5..8, got %d", *figFlag))
+	}
+	if *tableFlag != 0 && (*tableFlag < 1 || *tableFlag > 4) {
+		fatalIf(fmt.Errorf("-table must be 1..4, got %d", *tableFlag))
+	}
+	runAll := *figFlag == 0 && *tableFlag == 0
+	var err error
+	if runAll || *tableFlag == 1 {
+		err = table1(out)
+		fatalIf(err)
+	}
+	if runAll || *tableFlag == 2 {
+		fatalIf(table23(out, 2))
+	}
+	if runAll || *tableFlag == 3 {
+		fatalIf(table23(out, 3))
+	}
+	if runAll || *tableFlag == 4 {
+		fatalIf(table4(out))
+	}
+	if runAll || *figFlag == 5 {
+		fatalIf(figure(out, 5, opts))
+	}
+	if runAll || *figFlag == 6 {
+		fatalIf(figure(out, 6, opts))
+	}
+	if runAll || *figFlag == 7 {
+		fatalIf(figure(out, 7, opts))
+	}
+	if runAll || *figFlag == 8 {
+		fatalIf(figure8(out, opts))
+	}
+}
+
+func render(w io.Writer, t *stats.Table) {
+	switch *format {
+	case "csv":
+		t.RenderCSV(w)
+	case "md", "markdown":
+		t.RenderMarkdown(w)
+	default:
+		t.Render(w)
+	}
+	fmt.Fprintln(w)
+}
+
+func table1(w io.Writer) error {
+	t := stats.NewTable("Table 1: heterogeneous platform classes", "class", "description", "example")
+	for _, row := range hetcc.Table1() {
+		t.AddRow(row.Class, row.Description, row.Example)
+	}
+	render(w, t)
+	return nil
+}
+
+func table23(w io.Writer, n int) error {
+	var broken, fixed hetcc.SequenceResult
+	var err error
+	var title string
+	if n == 2 {
+		broken, fixed, err = hetcc.Table2()
+		title = "Table 2: MEI + MESI integration (P0=MESI, P1=MEI)"
+	} else {
+		broken, fixed, err = hetcc.Table3()
+		title = "Table 3: MSI + MESI integration (P0=MSI, P1=MESI)"
+	}
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable(title, "seq", "operation", "P0 (no wrapper)", "P1 (no wrapper)", "P0 (wrapped)", "P1 (wrapped)")
+	for i := range broken.Steps {
+		t.AddRow(
+			string(rune('a'+i)),
+			broken.Steps[i].Op,
+			broken.Steps[i].States[0], broken.Steps[i].States[1],
+			fixed.Steps[i].States[0], fixed.Steps[i].States[1],
+		)
+	}
+	render(w, t)
+	fmt.Fprintf(w, "  without wrappers: stale read observed = %v (the paper's defect)\n", broken.StaleRead)
+	fmt.Fprintf(w, "  with wrappers:    stale read observed = %v\n\n", fixed.StaleRead)
+	return nil
+}
+
+func table4(w io.Writer) error {
+	info := hetcc.Table4()
+	t := stats.NewTable("Table 4: simulation environment", "parameter", "value")
+	t.AddRow("PowerPC755 clock", fmt.Sprintf("%d MHz", info.PowerPCClockMHz))
+	t.AddRow("ARM920T clock", fmt.Sprintf("%d MHz", info.ARMClockMHz))
+	t.AddRow("ASB clock", fmt.Sprintf("%d MHz", info.BusClockMHz))
+	t.AddRow("memory access, single word", fmt.Sprintf("%d cycles", info.SingleWordCycles))
+	t.AddRow("memory access, 8-word burst", fmt.Sprintf("%d cycles", info.BurstCycles))
+	t.AddRow("cache line", fmt.Sprintf("%d bytes", info.LineBytes))
+	render(w, t)
+	return nil
+}
+
+func figure(w io.Writer, n int, opts hetcc.FigureOptions) error {
+	var pts []hetcc.RatioPoint
+	var err error
+	var title string
+	switch n {
+	case 5:
+		pts, err = hetcc.Figure5(opts)
+		title = "Figure 5: worst-case scenario (ratio of execution time vs cache-disabled)"
+	case 6:
+		pts, err = hetcc.Figure6(opts)
+		title = "Figure 6: best-case scenario (ratio of execution time vs cache-disabled)"
+	case 7:
+		pts, err = hetcc.Figure7(opts)
+		title = "Figure 7: typical-case scenario (ratio of execution time vs cache-disabled)"
+	}
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable(title, "exec_time", "lines", "software", "proposed", "speedup vs software %")
+	for _, p := range pts {
+		t.AddRow(p.ExecTime, p.Lines, p.RatioSoftware, p.RatioProposed, fmt.Sprintf("%+.2f", p.SpeedupVsSoftwarePct))
+	}
+	render(w, t)
+	return nil
+}
+
+func figure8(w io.Writer, opts hetcc.FigureOptions) error {
+	pts, err := hetcc.Figure8(nil, opts)
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("Figure 8: execution time of proposed relative to software vs miss penalty", "scenario", "lines", "penalty", "ratio", "speedup %")
+	for _, p := range pts {
+		t.AddRow(p.Scenario, p.Lines, p.MissPenalty, p.RatioVsSoftware, fmt.Sprintf("%+.2f", p.SpeedupPct))
+	}
+	render(w, t)
+	return nil
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,297 @@
+// Command hetccsim runs one microbenchmark simulation on a heterogeneous
+// platform and prints a detailed statistics report.
+//
+// Examples:
+//
+//	hetccsim -scenario wcs -solution proposed -lines 32 -exectime 4
+//	hetccsim -scenario bcs -solution software -lines 16 -penalty 96
+//	hetccsim -platform ppc-i486 -scenario tcs -solution proposed -trace 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hetcc"
+	"hetcc/internal/isa"
+	"hetcc/internal/memory"
+	"hetcc/internal/platform"
+	"hetcc/internal/stats"
+)
+
+func main() {
+	var (
+		scenarioFlag = flag.String("scenario", "wcs", "microbenchmark scenario: wcs, tcs, bcs")
+		solutionFlag = flag.String("solution", "proposed", "coherence strategy: disabled, software, proposed")
+		platFlag     = flag.String("platform", "ppc-arm", "platform preset: ppc-arm (PF2), ppc-i486 (PF3), arm-arm (PF1)")
+		configPath   = flag.String("config", "", "JSON platform definition (overrides -platform); see platform.SpecsFromJSON")
+		progFlags    progList
+		lockFlag     = flag.String("lock", "uncached-tas", "lock mechanism: uncached-tas, hw-register, bakery, peterson, cached-tas")
+		alternate    = flag.String("alternate", "auto", "strict lock alternation: auto (per scenario), on, off")
+		lines        = flag.Int("lines", 8, "cache lines accessed per iteration")
+		execTime     = flag.Int("exectime", 1, "inner iterations per critical section (paper exec_time)")
+		iterations   = flag.Int("iterations", 8, "critical-section entries per task")
+		words        = flag.Int("words", 8, "words touched per line per iteration")
+		penalty      = flag.Int("penalty", 13, "burst miss penalty in bus cycles (paper default 13)")
+		seed         = flag.Uint64("seed", 0, "workload seed (0 = default)")
+		verify       = flag.Bool("verify", true, "run the golden-model staleness checker")
+		traceN       = flag.Int("trace", 0, "retain and print the last N trace events")
+		vcdPath      = flag.String("vcd", "", "write an IEEE-1364 waveform dump (GTKWave) to this file")
+		maxCycles    = flag.Uint64("maxcycles", 50_000_000, "cycle budget")
+	)
+	flag.Var(&progFlags, "prog", "assembly program for one core, as core=path (repeatable; see isa.Assemble for the syntax; cores without one halt immediately)")
+	flag.Parse()
+
+	scenario, err := parseScenario(*scenarioFlag)
+	fatalIf(err)
+	solution, err := parseSolution(*solutionFlag)
+	fatalIf(err)
+	procs, err := parsePlatform(*platFlag)
+	fatalIf(err)
+	if *configPath != "" {
+		f, ferr := os.Open(*configPath)
+		fatalIf(ferr)
+		procs, err = platform.SpecsFromJSON(f)
+		f.Close()
+		fatalIf(err)
+	}
+	lockKind, err := parseLock(*lockFlag)
+	fatalIf(err)
+
+	alt := scenario.Alternate()
+	switch *alternate {
+	case "auto":
+	case "on":
+		alt = true
+	case "off":
+		alt = false
+	default:
+		fatalIf(fmt.Errorf("unknown -alternate %q (want auto, on, off)", *alternate))
+	}
+	if lockKind == platform.LockCachedTAS && *alternate == "auto" {
+		// The deadlock demonstration needs direct contention on the cached
+		// lock word; turn alternation would mask it.
+		alt = false
+	}
+	lk := platform.LockChoice{Kind: lockKind, Alternate: alt, SpinDelay: 4}
+	cfg := hetcc.Config{
+		Scenario:   scenario,
+		Solution:   solution,
+		Processors: procs,
+		Lock:       &lk,
+		Verify:     *verify,
+		TraceCap:   *traceN,
+		MaxCycles:  *maxCycles,
+		Params: hetcc.Params{
+			Lines:        *lines,
+			ExecTime:     *execTime,
+			Iterations:   *iterations,
+			WordsPerLine: *words,
+			Seed:         *seed,
+		},
+	}
+	if *penalty != 13 {
+		cfg.Timing = memory.ScaledTiming(*penalty)
+	}
+	if *vcdPath != "" {
+		f, err := os.Create(*vcdPath)
+		fatalIf(err)
+		defer f.Close()
+		cfg.VCD = f
+	}
+
+	p, err := hetcc.Build(cfg)
+	fatalIf(err)
+	if len(progFlags) > 0 {
+		progs := make([]isa.Program, len(p.CPUs))
+		for i := range progs {
+			progs[i] = isa.Program{{Kind: isa.Halt}}
+		}
+		for _, pf := range progFlags {
+			if pf.core < 0 || pf.core >= len(progs) {
+				fatalIf(fmt.Errorf("-prog core %d out of range (platform has %d cores)", pf.core, len(progs)))
+			}
+			src, rerr := os.ReadFile(pf.path)
+			fatalIf(rerr)
+			prog, aerr := isa.Assemble(string(src))
+			fatalIf(aerr)
+			progs[pf.core] = prog
+		}
+		fatalIf(p.LoadPrograms(progs))
+	}
+	res := p.Run(*maxCycles)
+
+	platName := *platFlag
+	if *configPath != "" {
+		platName = *configPath
+	}
+	fmt.Printf("hetcc simulation: %v on %s, %v solution, %v lock\n",
+		scenario, platName, solution, lockKind)
+	fmt.Printf("platform class %v, effective protocol %v\n",
+		p.Integration.Class, p.Integration.Effective)
+	if p.Integration.LockCaveat != "" {
+		fmt.Printf("note: %s\n", p.Integration.LockCaveat)
+	}
+	fmt.Println()
+
+	if res.Err != nil {
+		fmt.Printf("RUN ENDED ABNORMALLY: %v (reason: %s)\n\n", res.Err, res.StopReason)
+	}
+	util := 0.0
+	if total := res.Bus.BusyCycles + res.Bus.IdleCycles; total > 0 {
+		util = float64(res.Bus.BusyCycles) / float64(total) * 100
+	}
+	fmt.Printf("execution time: %d engine cycles (%d bus cycles @ 50 MHz), bus utilisation %.1f%%\n\n", res.Cycles, res.Cycles/2, util)
+
+	busT := stats.NewTable("Bus", "tenures", "completed", "aborted(ARTRY)", "fills", "writebacks", "upgrades", "word r/w", "rmw", "c2c", "busy", "idle")
+	busT.AddRow(res.Bus.Tenures, res.Bus.Completed, res.Bus.Aborted, res.Bus.LineFills,
+		res.Bus.WriteBacks, res.Bus.LineUpgrades,
+		fmt.Sprintf("%d/%d", res.Bus.WordReads, res.Bus.WordWrites), res.Bus.RMWs,
+		res.Bus.Supplied, res.Bus.BusyCycles, res.Bus.IdleCycles)
+	busT.Render(os.Stdout)
+	fmt.Println()
+
+	cpuT := stats.NewTable("Cores", "core", "instr", "stall", "delay", "lockAcq", "fiq", "isr", "isrCycles", "halt@")
+	for i, c := range res.CPU {
+		cpuT.AddRow(p.CPUs[i].Name(), c.Instructions, c.StallCycles, c.DelayCycles, c.LockAcquires, c.FIQsRaised, c.ISRRuns, c.ISRCycles, c.HaltCycle)
+	}
+	cpuT.Render(os.Stdout)
+	fmt.Println()
+
+	cacheT := stats.NewTable("Caches", "core", "rdHit", "rdMiss", "wrHit", "wrMiss", "upgr", "evict", "evictWB", "snoopHit", "snoopInv", "snoopFlush", "clean", "inval")
+	for i, c := range res.Cache {
+		cacheT.AddRow(p.CPUs[i].Name(), c.ReadHits, c.ReadMisses, c.WriteHits, c.WriteMisses, c.Upgrades,
+			c.Evictions, c.EvictionWBs, c.SnoopHits, c.SnoopInvalidations, c.SnoopFlushes, c.CleanOps, c.InvalOps)
+	}
+	cacheT.Render(os.Stdout)
+	fmt.Println()
+
+	anySnoop := false
+	snoopT := stats.NewTable("Snoop logic (TAG CAM)", "core", "inserts", "removes", "hits", "spurious", "retriesPending")
+	for i, s := range res.Snoop {
+		if p.SnoopLogics[i] == nil {
+			continue
+		}
+		anySnoop = true
+		snoopT.AddRow(p.CPUs[i].Name(), s.Inserts, s.Removes, s.Hits, s.SpuriousHits, s.RetriesWhilePending)
+	}
+	if anySnoop {
+		snoopT.Render(os.Stdout)
+		fmt.Println()
+	}
+
+	if *verify {
+		if res.Coherent() {
+			fmt.Println("golden-model check: PASS (no stale reads)")
+		} else {
+			fmt.Printf("golden-model check: FAIL — %d stale reads, first: %v\n", len(res.Violations), res.Violations[0])
+		}
+	}
+
+	if *traceN > 0 && p.Log != nil {
+		fmt.Printf("\nlast %d trace events (%d dropped):\n", p.Log.Len(), p.Log.Dropped())
+		p.Log.WriteTo(os.Stdout)
+	}
+	if *vcdPath != "" {
+		fmt.Printf("\nwaveform dump written to %s\n", *vcdPath)
+	}
+
+	if res.Err != nil {
+		os.Exit(1)
+	}
+}
+
+// progList collects repeated -prog core=path flags.
+type progList []progSpec
+
+type progSpec struct {
+	core int
+	path string
+}
+
+func (l *progList) String() string {
+	var parts []string
+	for _, p := range *l {
+		parts = append(parts, fmt.Sprintf("%d=%s", p.core, p.path))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (l *progList) Set(v string) error {
+	idx := strings.IndexByte(v, '=')
+	if idx <= 0 {
+		return fmt.Errorf("want core=path, got %q", v)
+	}
+	core, err := strconv.Atoi(v[:idx])
+	if err != nil {
+		return fmt.Errorf("bad core index in %q", v)
+	}
+	*l = append(*l, progSpec{core: core, path: v[idx+1:]})
+	return nil
+}
+
+func parseScenario(s string) (hetcc.Scenario, error) {
+	switch strings.ToLower(s) {
+	case "wcs", "worst":
+		return hetcc.WCS, nil
+	case "tcs", "typical":
+		return hetcc.TCS, nil
+	case "bcs", "best":
+		return hetcc.BCS, nil
+	default:
+		return 0, fmt.Errorf("unknown scenario %q (want wcs, tcs, bcs)", s)
+	}
+}
+
+func parseSolution(s string) (hetcc.Solution, error) {
+	switch strings.ToLower(s) {
+	case "disabled", "cache-disabled", "nocache":
+		return hetcc.CacheDisabled, nil
+	case "software", "sw":
+		return hetcc.Software, nil
+	case "proposed", "hw", "wrapper":
+		return hetcc.Proposed, nil
+	default:
+		return 0, fmt.Errorf("unknown solution %q (want disabled, software, proposed)", s)
+	}
+}
+
+func parsePlatform(s string) ([]platform.ProcessorSpec, error) {
+	switch strings.ToLower(s) {
+	case "ppc-arm", "pf2":
+		return platform.PPCARm(), nil
+	case "ppc-i486", "pf3":
+		return platform.PPCI486(), nil
+	case "arm-arm", "pf1":
+		return platform.ARMPair(), nil
+	default:
+		return nil, fmt.Errorf("unknown platform %q (want ppc-arm, ppc-i486, arm-arm)", s)
+	}
+}
+
+func parseLock(s string) (platform.LockKind, error) {
+	switch strings.ToLower(s) {
+	case "uncached-tas", "tas":
+		return platform.LockUncachedTAS, nil
+	case "hw-register", "register":
+		return platform.LockHardwareRegister, nil
+	case "bakery":
+		return platform.LockBakery, nil
+	case "cached-tas":
+		return platform.LockCachedTAS, nil
+	case "peterson":
+		return platform.LockPeterson, nil
+	default:
+		return 0, fmt.Errorf("unknown lock %q", s)
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetccsim:", err)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"testing"
+
+	"hetcc"
+	"hetcc/internal/platform"
+)
+
+func TestParseScenario(t *testing.T) {
+	cases := map[string]hetcc.Scenario{
+		"wcs": hetcc.WCS, "WCS": hetcc.WCS, "worst": hetcc.WCS,
+		"tcs": hetcc.TCS, "typical": hetcc.TCS,
+		"bcs": hetcc.BCS, "best": hetcc.BCS,
+	}
+	for in, want := range cases {
+		got, err := parseScenario(in)
+		if err != nil || got != want {
+			t.Errorf("parseScenario(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseScenario("nope"); err == nil {
+		t.Error("bad scenario accepted")
+	}
+}
+
+func TestParseSolution(t *testing.T) {
+	cases := map[string]hetcc.Solution{
+		"disabled": hetcc.CacheDisabled, "nocache": hetcc.CacheDisabled,
+		"software": hetcc.Software, "sw": hetcc.Software,
+		"proposed": hetcc.Proposed, "wrapper": hetcc.Proposed,
+	}
+	for in, want := range cases {
+		got, err := parseSolution(in)
+		if err != nil || got != want {
+			t.Errorf("parseSolution(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseSolution("nope"); err == nil {
+		t.Error("bad solution accepted")
+	}
+}
+
+func TestParsePlatform(t *testing.T) {
+	for _, in := range []string{"ppc-arm", "pf2", "ppc-i486", "pf3", "arm-arm", "pf1"} {
+		specs, err := parsePlatform(in)
+		if err != nil || len(specs) != 2 {
+			t.Errorf("parsePlatform(%q): %v, %d specs", in, err, len(specs))
+		}
+	}
+	if _, err := parsePlatform("nope"); err == nil {
+		t.Error("bad platform accepted")
+	}
+}
+
+func TestParseLock(t *testing.T) {
+	cases := map[string]platform.LockKind{
+		"uncached-tas": platform.LockUncachedTAS,
+		"tas":          platform.LockUncachedTAS,
+		"hw-register":  platform.LockHardwareRegister,
+		"bakery":       platform.LockBakery,
+		"cached-tas":   platform.LockCachedTAS,
+		"peterson":     platform.LockPeterson,
+	}
+	for in, want := range cases {
+		got, err := parseLock(in)
+		if err != nil || got != want {
+			t.Errorf("parseLock(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseLock("nope"); err == nil {
+		t.Error("bad lock accepted")
+	}
+}

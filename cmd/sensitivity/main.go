@@ -1,0 +1,200 @@
+// Command sensitivity sweeps the free parameters of the timing model —
+// the constants the paper does not publish and EXPERIMENTS.md documents as
+// calibrated — and reports how the headline comparison (proposed vs
+// software, WCS and BCS at 32 lines) responds.  It shows which of the
+// paper's conclusions are robust to calibration and which are sensitive.
+//
+// Usage:
+//
+//	sensitivity              # all sweeps
+//	sensitivity -sweep isr   # one sweep: isr, drain, access, clock, cache, pipeline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hetcc"
+	"hetcc/internal/platform"
+	"hetcc/internal/stats"
+)
+
+var sweepFlag = flag.String("sweep", "", "sweep to run: isr, wrapper, drain, access, clock, cache, pipeline (empty = all)")
+
+func main() {
+	flag.Parse()
+	known := map[string]bool{"": true, "isr": true, "wrapper": true, "drain": true, "access": true, "clock": true, "cache": true, "pipeline": true}
+	if !known[*sweepFlag] {
+		fatalIf(fmt.Errorf("unknown sweep %q (want isr, wrapper, drain, access, clock, cache, pipeline)", *sweepFlag))
+	}
+	run := func(name string, f func()) {
+		if *sweepFlag == "" || *sweepFlag == name {
+			f()
+		}
+	}
+	run("isr", sweepISR)
+	run("wrapper", sweepWrapper)
+	run("drain", sweepDrain)
+	run("access", sweepAccess)
+	run("clock", sweepClock)
+	run("cache", sweepCache)
+	run("pipeline", sweepPipeline)
+}
+
+// point runs one (scenario, specs) pair and returns the proposed-solution
+// speedup over software in percent.
+func point(s hetcc.Scenario, specs []platform.ProcessorSpec, pipelined bool) float64 {
+	var cycles [2]uint64
+	for i, sol := range []hetcc.Solution{hetcc.Software, hetcc.Proposed} {
+		res, err := hetcc.Run(hetcc.Config{
+			Scenario:     s,
+			Solution:     sol,
+			Processors:   specs,
+			PipelinedBus: pipelined,
+			Params:       hetcc.Params{Lines: 32, ExecTime: 1},
+		})
+		fatalIf(err)
+		if res.Err != nil {
+			fatalIf(res.Err)
+		}
+		cycles[i] = res.Cycles
+	}
+	return stats.SpeedupPct(cycles[1], cycles[0])
+}
+
+func wcsBcs(specs []platform.ProcessorSpec, pipelined bool) (float64, float64) {
+	return point(hetcc.WCS, specs, pipelined), point(hetcc.BCS, specs, pipelined)
+}
+
+func render(title string, xName string, xs []string, rows [][2]float64) {
+	t := stats.NewTable(title, xName, "WCS speedup %", "BCS speedup %")
+	for i, x := range xs {
+		t.AddRow(x, fmt.Sprintf("%+.2f", rows[i][0]), fmt.Sprintf("%+.2f", rows[i][1]))
+	}
+	t.Render(os.Stdout)
+	fmt.Println()
+}
+
+// sweepISR varies the ARM920T interrupt response time — the paper's
+// "interrupt response time" of Figure 4 and the reason PF3 beats PF2.
+func sweepISR() {
+	values := []int{0, 2, 4, 8, 16, 32, 64}
+	var xs []string
+	var rows [][2]float64
+	for _, v := range values {
+		specs := platform.PPCARm()
+		specs[1].InterruptResponse = v
+		w, b := wcsBcs(specs, false)
+		xs = append(xs, fmt.Sprintf("%d", v))
+		rows = append(rows, [2]float64{w, b})
+	}
+	render("Sensitivity: ARM920T interrupt response time (CPU cycles; default 4)", "response", xs, rows)
+}
+
+// sweepWrapper varies the wrapper's per-transaction protocol-conversion
+// cost (charged only under the proposed strategy, so it eats directly into
+// the proposed solution's advantage).
+func sweepWrapper() {
+	values := []int{0, 1, 2, 4, 8}
+	var xs []string
+	var rows [][2]float64
+	for _, v := range values {
+		specs := platform.PPCARm()
+		for i := range specs {
+			specs[i].WrapperLatency = v
+		}
+		w, b := wcsBcs(specs, false)
+		xs = append(xs, fmt.Sprintf("%d", v))
+		rows = append(rows, [2]float64{w, b})
+	}
+	render("Sensitivity: wrapper conversion latency per transaction (bus cycles; default 0)", "latency", xs, rows)
+}
+
+// sweepDrain varies the software solution's per-line drain-loop overhead.
+func sweepDrain() {
+	values := []int{4, 8, 12, 16, 24}
+	var xs []string
+	var rows [][2]float64
+	for _, v := range values {
+		specs := platform.PPCARm()
+		for i := range specs {
+			specs[i].CacheOpOverhead = v
+		}
+		w, b := wcsBcs(specs, false)
+		xs = append(xs, fmt.Sprintf("%d", v))
+		rows = append(rows, [2]float64{w, b})
+	}
+	render("Sensitivity: software drain-loop overhead per line (CPU cycles; default 12)", "overhead", xs, rows)
+}
+
+// sweepAccess varies the per-load/store instruction overhead.
+func sweepAccess() {
+	values := []int{0, 1, 3, 6, 10}
+	var xs []string
+	var rows [][2]float64
+	for _, v := range values {
+		specs := platform.PPCARm()
+		for i := range specs {
+			specs[i].AccessOverhead = v
+		}
+		w, b := wcsBcs(specs, false)
+		xs = append(xs, fmt.Sprintf("%d", v))
+		rows = append(rows, [2]float64{w, b})
+	}
+	render("Sensitivity: per-access instruction overhead (CPU cycles; default 3)", "overhead", xs, rows)
+}
+
+// sweepClock varies the ARM clock divisor (the paper runs it at half the
+// PowerPC's frequency).
+func sweepClock() {
+	values := []uint64{1, 2, 4}
+	var xs []string
+	var rows [][2]float64
+	for _, v := range values {
+		specs := platform.PPCARm()
+		specs[1].ClockDiv = v
+		w, b := wcsBcs(specs, false)
+		xs = append(xs, fmt.Sprintf("1/%d", v))
+		rows = append(rows, [2]float64{w, b})
+	}
+	render("Sensitivity: ARM920T clock ratio (of the 100 MHz engine; default 1/2)", "ratio", xs, rows)
+}
+
+// sweepCache varies the ARM data-cache size.
+func sweepCache() {
+	values := []int{4, 8, 16, 32}
+	var xs []string
+	var rows [][2]float64
+	for _, v := range values {
+		specs := platform.PPCARm()
+		specs[1].Cache.SizeBytes = v * 1024
+		w, b := wcsBcs(specs, false)
+		xs = append(xs, fmt.Sprintf("%dKB", v))
+		rows = append(rows, [2]float64{w, b})
+	}
+	render("Sensitivity: ARM920T data-cache size (default 16KB)", "size", xs, rows)
+}
+
+// sweepPipeline contrasts the plain ASB with the AHB-style pipelined bus.
+func sweepPipeline() {
+	var xs []string
+	var rows [][2]float64
+	for _, piped := range []bool{false, true} {
+		w, b := wcsBcs(platform.PPCARm(), piped)
+		name := "ASB (plain)"
+		if piped {
+			name = "AHB-style (pipelined)"
+		}
+		xs = append(xs, name)
+		rows = append(rows, [2]float64{w, b})
+	}
+	render("Sensitivity: bus pipelining", "bus", xs, rows)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sensitivity:", err)
+		os.Exit(1)
+	}
+}

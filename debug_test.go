@@ -1,0 +1,40 @@
+package hetcc
+
+import (
+	"os"
+	"testing"
+
+	"hetcc/internal/platform"
+)
+
+// TestDebugCachedLock is a scaffolding diagnostic (kept for regression
+// archaeology): it dumps the tail of the event trace when the cached-lock
+// deadlock demo misbehaves.
+func TestDebugCachedLock(t *testing.T) {
+	if os.Getenv("HETCC_DEBUG") == "" {
+		t.Skip("set HETCC_DEBUG=1 to run")
+	}
+	lk := platform.LockChoice{Kind: platform.LockCachedTAS, Alternate: false, SpinDelay: 4}
+	p, err := Build(Config{
+		Scenario: WCS,
+		Solution: Proposed,
+		Lock:     &lk,
+		Params:   Params{Lines: 2, ExecTime: 1, Iterations: 4},
+		TraceCap: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.Run(100_000)
+	t.Logf("err=%v reason=%q cycles=%d", res.Err, res.StopReason, res.Cycles)
+	for i, c := range p.CPUs {
+		st := c.Stats()
+		t.Logf("cpu%d %s: halted=%v instr=%d stall=%d delay=%d busyRetry=%d lockAcq=%d fiq=%d isr=%d",
+			i, c.Name(), st.Halted, st.Instructions, st.StallCycles, st.DelayCycles, st.BusyRetries, st.LockAcquires, st.FIQsRaised, st.ISRRuns)
+	}
+	bs := p.Bus.Stats()
+	t.Logf("bus: tenures=%d completed=%d aborted=%d idle=%d busy=%d", bs.Tenures, bs.Completed, bs.Aborted, bs.IdleCycles, bs.BusyCycles)
+	for _, e := range p.Log.Events() {
+		t.Log(e)
+	}
+}

@@ -1,0 +1,119 @@
+// dspdma shows the coherent DMA engine moving media buffers between a
+// general-purpose core and a DSP-style core — the data-movement pattern of
+// the paper's motivating SoC (a media processor/DSP next to a
+// general-purpose CPU) and its future-work direction of tightly-integrated
+// I/O processors.
+//
+// The PowerPC755 "decodes" a buffer (writes it — the data sits dirty in
+// its cache), programs the DMA engine to copy it to the DSP's work area,
+// and the ARM920T (standing in for the DSP) processes it and writes
+// results the PowerPC then reads back.  No explicit cache maintenance
+// appears anywhere: the DMA's bus transactions are snooped like any
+// processor's, so the wrappers and snoop logic keep every copy coherent —
+// dirty source lines are drained for the DMA read, and cached destination
+// copies are invalidated by its write.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetcc/internal/isa"
+	"hetcc/internal/platform"
+	"hetcc/internal/workload"
+)
+
+const (
+	bufLines  = 16 // 512-byte media buffer
+	lineBytes = 32
+	words     = bufLines * lineBytes / 4
+)
+
+var (
+	decoded = workload.BlockBase(0) // written by the CPU (cached, dirty)
+	workBuf = workload.BlockBase(1) // DMA copies here for the DSP
+	results = workload.BlockBase(2) // DSP output
+	flagVar = platform.LockBase + 0xf0
+)
+
+// DMA register addresses.
+var (
+	regSrc    = platform.DMABase + 0x0
+	regDst    = platform.DMABase + 0x4
+	regLen    = platform.DMABase + 0x8
+	regCtrl   = platform.DMABase + 0xc
+	regStatus = platform.DMABase + 0x10
+)
+
+func cpuProgram() isa.Program {
+	b := isa.NewBuilder()
+	// "Decode" the buffer: the data stays dirty in the PowerPC cache.
+	for w := uint32(0); w < words; w++ {
+		b.Write(decoded+4*w, 0xD000_0000|w)
+	}
+	// Ship it to the DSP work area by DMA and signal the DSP.
+	b.Write(regSrc, decoded)
+	b.Write(regDst, workBuf)
+	b.Write(regLen, bufLines*lineBytes)
+	b.Write(regCtrl, 1)
+	b.WaitEq(regStatus, 2) // done
+	b.Write(flagVar, 1)    // uncached mailbox: buffer ready
+	// Wait for the DSP's results and consume them.
+	b.WaitEq(flagVar, 2)
+	for w := uint32(0); w < words; w++ {
+		b.Read(results + 4*w)
+	}
+	return b.Halt()
+}
+
+func dspProgram() isa.Program {
+	b := isa.NewBuilder()
+	b.WaitEq(flagVar, 1) // wait for the buffer
+	for w := uint32(0); w < words; w++ {
+		b.Read(workBuf + 4*w)
+		b.Write(results+4*w, 0xE000_0000|w) // "filtered" output
+	}
+	b.Write(flagVar, 2)
+	return b.Halt()
+}
+
+func main() {
+	p, err := platform.Build(platform.Config{
+		Processors: platform.PPCARm(),
+		Solution:   platform.Proposed,
+		Lock:       platform.LockChoice{Kind: platform.LockUncachedTAS},
+		DMA:        true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := p.LoadPrograms([]isa.Program{cpuProgram(), dspProgram()}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("dspdma — CPU decodes, coherent DMA ships, DSP filters")
+	res := p.Run(50_000_000)
+	if res.Err != nil {
+		log.Fatalf("run: %v", res.Err)
+	}
+
+	// Verify end to end: the DSP's work buffer must hold the CPU's decoded
+	// data (which never reached memory before the DMA read drained it).
+	ok := true
+	for w := uint32(0); w < words; w++ {
+		if got := p.Memory.Peek(workBuf + 4*w); got != 0xD000_0000|w {
+			fmt.Printf("work buffer word %d corrupt: %#x\n", w, got)
+			ok = false
+			break
+		}
+	}
+	fmt.Printf("pipeline finished in %d cycles\n", res.Cycles)
+	fmt.Printf("DMA: %d lines copied, %d transfer(s)\n", p.DMA.LinesCopied, p.DMA.Transfers)
+	fmt.Printf("PowerPC snoop drains for the DMA read: %d\n", res.Cache[0].SnoopFlushes)
+	fmt.Printf("ARM snoop-logic hits (work-area hand-off): %d\n", res.Snoop[1].Hits)
+	if ok {
+		fmt.Println("end-to-end check: PASS — no explicit cache maintenance anywhere")
+	} else {
+		log.Fatal("end-to-end check: FAIL")
+	}
+}

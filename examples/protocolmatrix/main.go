@@ -1,0 +1,118 @@
+// protocolmatrix integrates every pair of invalidation-based protocols on
+// the cycle-level simulator, runs a contended workload on each pair, and
+// shows (a) the effective reduced protocol, (b) that the golden-model
+// checker finds no stale reads, and (c) which states the wrappers actually
+// eliminated at run time — the live counterpart of the paper's Section 2
+// reduction table and of cmd/protocheck's static model check.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"hetcc"
+	"hetcc/internal/coherence"
+	"hetcc/internal/platform"
+	"hetcc/internal/stats"
+)
+
+func main() {
+	kinds := []coherence.Kind{coherence.MEI, coherence.MSI, coherence.MESI, coherence.MOESI}
+	t := stats.NewTable("Protocol integration matrix (live simulation)",
+		"P0", "P1", "effective", "cycles", "stale reads", "states seen P0", "states seen P1", "conversions")
+
+	for i, a := range kinds {
+		for j, b := range kinds {
+			if j < i {
+				continue
+			}
+			specs := []platform.ProcessorSpec{
+				platform.Generic("P0-"+a.String(), a, 1),
+				platform.Generic("P1-"+b.String(), b, 1),
+			}
+			lk := platform.LockChoice{Kind: platform.LockUncachedTAS, Alternate: true, SpinDelay: 4}
+			p, err := hetcc.Build(hetcc.Config{
+				Scenario:   hetcc.WCS,
+				Solution:   hetcc.Proposed,
+				Processors: specs,
+				Lock:       &lk,
+				Verify:     true,
+				Params:     hetcc.Params{Lines: 6, ExecTime: 2, Iterations: 5},
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+
+			// Sample the coherence states each cache passes through.
+			seen := []map[coherence.State]bool{{}, {}}
+			for c := 0; c < 4_000_000 && !p.Engine.Stopped(); c++ {
+				p.Engine.Step()
+				if c%5 != 0 {
+					continue
+				}
+				for core := 0; core < 2; core++ {
+					arr := p.Controllers[core].Cache()
+					for _, base := range arr.ResidentLines() {
+						if platform.InShared(base) {
+							seen[core][arr.StateOf(base)] = true
+						}
+					}
+				}
+			}
+			res := p.Run(50_000_000) // finish if not already stopped
+			if res.Err != nil {
+				log.Fatalf("%v+%v: %v", a, b, res.Err)
+			}
+
+			conv := res.WrapperConv[0] + res.WrapperConv[1]
+			t.AddRow(a, b, p.Integration.Effective, res.Cycles, len(res.Violations),
+				stateSet(seen[0]), stateSet(seen[1]), conv)
+
+			// Cross-check the reduction claims live.
+			assertEliminated(a, b, p.Integration.Effective, seen)
+		}
+	}
+	fmt.Print(t.String())
+	fmt.Println("\nEvery combination ran coherently; the states each cache visited stay")
+	fmt.Println("inside the reduced protocol of the paper's Section 2.")
+}
+
+func stateSet(m map[coherence.State]bool) string {
+	var out []string
+	for _, s := range []coherence.State{coherence.Invalid, coherence.Shared, coherence.Exclusive, coherence.Modified, coherence.Owned} {
+		if m[s] {
+			out = append(out, s.String())
+		}
+	}
+	if len(out) == 0 {
+		return "-"
+	}
+	return strings.Join(out, ",")
+}
+
+func assertEliminated(a, b, effective coherence.Kind, seen []map[coherence.State]bool) {
+	check := func(core int, st coherence.State) {
+		if seen[core][st] {
+			log.Fatalf("%v+%v: P%d entered %v despite reduction to %v", a, b, core, st, effective)
+		}
+	}
+	switch effective {
+	case coherence.MEI:
+		for core, k := range []coherence.Kind{a, b} {
+			if k != coherence.MSI { // MSI's self-allocated S behaves as E (paper 2.1)
+				check(core, coherence.Shared)
+			}
+			check(core, coherence.Owned)
+		}
+	case coherence.MSI:
+		for core := range seen {
+			check(core, coherence.Exclusive)
+			check(core, coherence.Owned)
+		}
+	case coherence.MESI:
+		for core := range seen {
+			check(core, coherence.Owned)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// socmedia reproduces the paper's motivating SoC workload (Section 1): a
+// media processor decodes frames into a shared buffer while a second
+// processor runs the network stack that consumes them.  "One can employ a
+// media processor or a DSP for the MPEG/audio applications while a
+// different one for the TCP/IP stack processing."
+//
+// The producer task (on the PowerPC755) writes 1 KB frames into a shared
+// ring of buffers; the consumer task (on the ARM920T) checksums each frame.
+// Both synchronise with the uncached lock, alternating — exactly the
+// hand-off a real decoder/transmit pipeline performs.
+//
+// The example runs the pipeline under all three coherence strategies and
+// reports how the paper's wrapper/snoop-logic hardware compares with
+// disabling the caches or draining in software.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetcc"
+	"hetcc/internal/isa"
+	"hetcc/internal/platform"
+	"hetcc/internal/stats"
+	"hetcc/internal/workload"
+)
+
+const (
+	frames       = 12
+	frameLines   = 32 // 32 lines x 32 B = 1 KB per frame
+	ringBuffers  = 4
+	lineBytes    = 32
+	wordsPerLine = 8
+)
+
+func frameLineAddr(frame, line int) uint32 {
+	buf := frame % ringBuffers
+	return workload.BlockBase(buf) + uint32(line*lineBytes)
+}
+
+// producer decodes frames: under the lock it writes every word of the
+// frame's buffer, then (in the software strategy) drains it.
+func producer(sol hetcc.Solution) isa.Program {
+	b := isa.NewBuilder()
+	for f := 0; f < frames; f++ {
+		b.Delay(40) // decode computation before publishing
+		b.Lock(0)
+		for l := 0; l < frameLines; l++ {
+			base := frameLineAddr(f, l)
+			for w := 0; w < wordsPerLine; w++ {
+				b.Write(base+uint32(4*w), uint32(f<<16|l<<8|w+1))
+			}
+		}
+		if sol == hetcc.Software {
+			for l := 0; l < frameLines; l++ {
+				b.Clean(frameLineAddr(f, l))
+			}
+		}
+		b.Unlock(0)
+	}
+	return b.Halt()
+}
+
+// consumer checksums each frame under the lock (reads every word), then
+// hands the buffer back.
+func consumer(sol hetcc.Solution) isa.Program {
+	b := isa.NewBuilder()
+	for f := 0; f < frames; f++ {
+		b.Lock(0)
+		for l := 0; l < frameLines; l++ {
+			base := frameLineAddr(f, l)
+			for w := 0; w < wordsPerLine; w++ {
+				b.Read(base + uint32(4*w))
+			}
+		}
+		if sol == hetcc.Software {
+			// The consumer's copies are clean, but it must still
+			// invalidate them or the next frame in this ring slot would
+			// hit stale data.
+			for l := 0; l < frameLines; l++ {
+				b.Inval(frameLineAddr(f, l))
+			}
+		}
+		b.Unlock(0)
+		b.Delay(40) // protocol/checksum work outside the critical section
+	}
+	return b.Halt()
+}
+
+func run(sol hetcc.Solution) (uint64, error) {
+	lk := platform.LockChoice{Kind: platform.LockUncachedTAS, Alternate: true, SpinDelay: 4}
+	p, err := hetcc.Build(hetcc.Config{
+		Scenario: hetcc.WCS, // placeholder; programs are replaced below
+		Solution: sol,
+		Lock:     &lk,
+		Verify:   true,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := p.LoadPrograms([]isa.Program{producer(sol), consumer(sol)}); err != nil {
+		return 0, err
+	}
+	res := p.Run(50_000_000)
+	if res.Err != nil {
+		return 0, fmt.Errorf("%v: %w", sol, res.Err)
+	}
+	if !res.Coherent() {
+		return 0, fmt.Errorf("%v: stale read: %v", sol, res.Violations[0])
+	}
+	return res.Cycles, nil
+}
+
+func main() {
+	fmt.Println("socmedia — media producer (PowerPC755) + network consumer (ARM920T)")
+	fmt.Printf("%d frames of %d KB through a %d-buffer shared ring\n\n", frames, frameLines*lineBytes/1024, ringBuffers)
+
+	cycles := map[hetcc.Solution]uint64{}
+	for _, sol := range []hetcc.Solution{hetcc.CacheDisabled, hetcc.Software, hetcc.Proposed} {
+		c, err := run(sol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cycles[sol] = c
+	}
+
+	t := stats.NewTable("Pipeline completion time", "strategy", "cycles", "ratio vs disabled", "speedup vs software %")
+	for _, sol := range []hetcc.Solution{hetcc.CacheDisabled, hetcc.Software, hetcc.Proposed} {
+		t.AddRow(sol, cycles[sol],
+			stats.Ratio(cycles[sol], cycles[hetcc.CacheDisabled]),
+			fmt.Sprintf("%+.2f", stats.SpeedupPct(cycles[sol], cycles[hetcc.Software])))
+	}
+	fmt.Print(t.String())
+	fmt.Println("\nThe proposed wrappers give the programmer a transparent view of the")
+	fmt.Println("shared frames: no drain/invalidate code, and the fastest pipeline.")
+}

@@ -1,0 +1,193 @@
+package hetcc
+
+import (
+	"testing"
+
+	"hetcc/internal/coherence"
+	"hetcc/internal/core"
+	"hetcc/internal/platform"
+)
+
+// tinyOpts keeps facade-level experiment tests fast.
+func tinyOpts() FigureOptions {
+	return FigureOptions{
+		ExecTimes:  []int{1},
+		LineCounts: []int{1, 4},
+		Iterations: 3,
+		Verify:     true,
+	}
+}
+
+func TestFigureRunnersProduceOrderedSeries(t *testing.T) {
+	for _, fig := range []struct {
+		name string
+		run  func(FigureOptions) ([]RatioPoint, error)
+	}{
+		{"Figure5", Figure5},
+		{"Figure6", Figure6},
+		{"Figure7", Figure7},
+	} {
+		pts, err := fig.run(tinyOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", fig.name, err)
+		}
+		if len(pts) != 2 {
+			t.Fatalf("%s: %d points, want 2", fig.name, len(pts))
+		}
+		for _, p := range pts {
+			if p.CyclesDisabled == 0 || p.CyclesSoftware == 0 || p.CyclesProposed == 0 {
+				t.Fatalf("%s: zero cycles in %+v", fig.name, p)
+			}
+			if p.RatioProposed >= 1 || p.RatioSoftware >= 1 {
+				t.Fatalf("%s: caching not faster than disabled: %+v", fig.name, p)
+			}
+		}
+	}
+}
+
+func TestFigure6SpeedupGrowsWithLines(t *testing.T) {
+	opts := tinyOpts()
+	opts.LineCounts = []int{1, 16}
+	pts, err := Figure6(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[1].SpeedupVsSoftwarePct <= pts[0].SpeedupVsSoftwarePct {
+		t.Fatalf("BCS speedup not growing with lines: %+.2f then %+.2f",
+			pts[0].SpeedupVsSoftwarePct, pts[1].SpeedupVsSoftwarePct)
+	}
+}
+
+func TestFigure8TrendsWithPenalty(t *testing.T) {
+	pts, err := Figure8([]int{13, 96}, FigureOptions{Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 scenarios x 2 line counts x 2 penalties.
+	if len(pts) != 12 {
+		t.Fatalf("%d points, want 12", len(pts))
+	}
+	// BCS at 32 lines must improve substantially from 13 to 96 cycles.
+	var bcs13, bcs96 float64
+	for _, p := range pts {
+		if p.Scenario == BCS && p.Lines == 32 {
+			switch p.MissPenalty {
+			case 13:
+				bcs13 = p.RatioVsSoftware
+			case 96:
+				bcs96 = p.RatioVsSoftware
+			}
+		}
+	}
+	if !(bcs96 < bcs13 && bcs96 < 0.5) {
+		t.Fatalf("BCS/32 ratio did not improve with penalty: %.3f -> %.3f", bcs13, bcs96)
+	}
+}
+
+func TestTable1MatchesClassifier(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	want := []core.PlatformClass{core.PF1, core.PF2, core.PF3}
+	for i, row := range rows {
+		if row.Class != want[i] {
+			t.Fatalf("row %d class %v, want %v", i, row.Class, want[i])
+		}
+		if row.Description == "" || row.Example == "" {
+			t.Fatalf("row %d incomplete: %+v", i, row)
+		}
+	}
+}
+
+func TestSequenceResultShape(t *testing.T) {
+	broken, fixed, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seq := range []SequenceResult{broken, fixed} {
+		if len(seq.Steps) != 4 {
+			t.Fatalf("%d steps", len(seq.Steps))
+		}
+		if len(seq.Protocols) != 2 {
+			t.Fatalf("protocols %v", seq.Protocols)
+		}
+		for _, st := range seq.Steps {
+			if len(st.States) != 2 || st.Label == "" {
+				t.Fatalf("step %+v", st)
+			}
+		}
+	}
+	if broken.Wrappers || !fixed.Wrappers {
+		t.Fatal("wrapper flags swapped")
+	}
+}
+
+func TestRunDefaultsToPaperPlatform(t *testing.T) {
+	p, err := Build(Config{Scenario: BCS, Solution: Proposed, Params: Params{Lines: 1, Iterations: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.CPUs) != 2 || p.CPUs[0].Name() != "PowerPC755" || p.CPUs[1].Name() != "ARM920T" {
+		t.Fatalf("default platform: %v/%v", p.CPUs[0].Name(), p.CPUs[1].Name())
+	}
+	if p.Integration.Class != core.PF2 {
+		t.Fatalf("class %v", p.Integration.Class)
+	}
+}
+
+func TestRunPropagatesWorkloadErrors(t *testing.T) {
+	if _, err := Run(Config{Scenario: WCS, Solution: Proposed, Params: Params{Lines: -1}}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestMustRunPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustRun(Config{Scenario: WCS, Solution: Proposed, Params: Params{Lines: -1}})
+}
+
+func TestFacadeRaceCheckPlumbed(t *testing.T) {
+	res, err := Run(Config{
+		Scenario:  WCS,
+		Solution:  Proposed,
+		Verify:    true,
+		RaceCheck: true,
+		Params:    Params{Lines: 2, Iterations: 2},
+	})
+	if err != nil || res.Err != nil {
+		t.Fatal(err, res.Err)
+	}
+	if len(res.Races) != 0 {
+		t.Fatalf("generated workloads are lock-disciplined; races: %v", res.Races)
+	}
+}
+
+func TestProtocolName(t *testing.T) {
+	if ProtocolName(coherence.MESI) != "MESI" {
+		t.Fatal("protocol name")
+	}
+}
+
+func TestFigureOptionsPlatformOverride(t *testing.T) {
+	opts := tinyOpts()
+	opts.Processors = platform.PPCI486()
+	opts.LineCounts = []int{4}
+	pf3, err := Figure5(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Processors = nil
+	pf2, err := Figure5(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: PF3 outperforms PF2 under the proposed scheme.
+	if pf3[0].CyclesProposed >= pf2[0].CyclesProposed {
+		t.Fatalf("PF3 (%d) not faster than PF2 (%d)", pf3[0].CyclesProposed, pf2[0].CyclesProposed)
+	}
+}

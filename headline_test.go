@@ -1,0 +1,70 @@
+package hetcc
+
+import "testing"
+
+// TestHeadlineReproductionBands pins the paper's headline results to
+// tolerance bands so a regression in the timing model or the coherence
+// machinery fails loudly.  Paper values: WCS ≥ +2.51 % vs software; BCS
+// 38.22 % at 32 lines/exec 1; TCS ≈ 30 %; Figure 8 BCS/32 ≈ 76 % at a
+// 96-cycle penalty.  (EXPERIMENTS.md records the exact measured values.)
+func TestHeadlineReproductionBands(t *testing.T) {
+	opts := FigureOptions{ExecTimes: []int{1}, LineCounts: []int{32}, Verify: true}
+
+	within := func(name string, got, lo, hi float64) {
+		t.Helper()
+		if got < lo || got > hi {
+			t.Errorf("%s = %+.2f%%, want within [%.1f, %.1f]", name, got, lo, hi)
+		}
+	}
+
+	wcs, err := Figure5(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within("WCS speedup vs software @32 lines", wcs[0].SpeedupVsSoftwarePct, 2.0, 12.0)
+
+	bcs, err := Figure6(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within("BCS speedup vs software @32 lines (paper 38.22%)", bcs[0].SpeedupVsSoftwarePct, 30.0, 45.0)
+
+	tcs, err := Figure7(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within("TCS speedup vs software @32 lines (paper ~30%)", tcs[0].SpeedupVsSoftwarePct, 20.0, 36.0)
+
+	// The ordering the paper's Figures 5-7 embody.
+	if !(bcs[0].SpeedupVsSoftwarePct > tcs[0].SpeedupVsSoftwarePct &&
+		tcs[0].SpeedupVsSoftwarePct > wcs[0].SpeedupVsSoftwarePct) {
+		t.Errorf("scenario ordering violated: BCS %.1f, TCS %.1f, WCS %.1f",
+			bcs[0].SpeedupVsSoftwarePct, tcs[0].SpeedupVsSoftwarePct, wcs[0].SpeedupVsSoftwarePct)
+	}
+
+	// Figure 8: BCS/32 at the 96-cycle penalty (paper ≈ 76 %).
+	pts, err := Figure8([]int{13, 96}, FigureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.Scenario == BCS && p.Lines == 32 && p.MissPenalty == 96 {
+			within("Fig8 BCS/32 @96cy (paper ~76%)", p.SpeedupPct, 60.0, 82.0)
+		}
+		if p.Scenario == BCS && p.Lines == 32 && p.MissPenalty == 13 {
+			within("Fig8 BCS/32 @13cy (paper 38.22%)", p.SpeedupPct, 30.0, 45.0)
+		}
+	}
+
+	// WCS: the paper's minimum claim, "at least 2.51% for all WCS
+	// simulations", at the default penalty across exec_times.
+	all, err := Figure5(FigureOptions{ExecTimes: []int{1, 2, 4}, LineCounts: []int{1, 32}, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range all {
+		if p.SpeedupVsSoftwarePct < 1.5 {
+			t.Errorf("WCS exec=%d lines=%d: proposed only %+.2f%% over software", p.ExecTime, p.Lines, p.SpeedupVsSoftwarePct)
+		}
+	}
+}

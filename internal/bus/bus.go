@@ -1,0 +1,678 @@
+// Package bus models the shared system bus of the paper's SoC platform — an
+// AMBA ASB-like single-master-at-a-time pipelined bus with snooping.
+//
+// The model reproduces the handshake structure the paper's wrappers rely on:
+//
+//   - arbitration (BREQ/BGNT): one bus cycle;
+//   - an address phase in which every other master's snooper (through its
+//     wrapper) observes the transaction: one bus cycle;
+//   - ARTRY-style retry: a snooper holding the line dirty (or an external
+//     snoop logic waiting on an interrupt service routine) aborts the
+//     transaction; the master re-queues it and the snooper drains first
+//     (the paper's ARTRY/HITM/BOFF sequence);
+//   - a data phase whose length comes from the memory controller timing, a
+//     mapped device, or a cache-to-cache supply.
+//
+// Masters own FIFO request queues.  A retried transaction returns to the
+// *head* of its master's queue, and a snoop-triggered flush is queued
+// *behind* it — this mirrors the PowerPC 60x behaviour the paper identifies
+// as the root of the hardware-deadlock problem ("it is supposed to retry the
+// transaction ... instead of draining out the lock variables").  The bus
+// detects the resulting livelock by counting consecutive aborted tenures.
+package bus
+
+import (
+	"errors"
+	"fmt"
+
+	"hetcc/internal/coherence"
+	"hetcc/internal/memory"
+	"hetcc/internal/trace"
+)
+
+// Kind enumerates bus transaction kinds.
+type Kind uint8
+
+const (
+	// ReadLine is a cache-line fill (maps to coherence.BusRd).
+	ReadLine Kind = iota
+	// ReadLineOwn is a read-for-ownership line fill (coherence.BusRdX).
+	ReadLineOwn
+	// Upgrade is an address-only ownership upgrade (coherence.BusUpgr).
+	Upgrade
+	// WriteLine is a cache-line write-back.  Write-backs are not snooped:
+	// only the single owner of a dirty line can issue one.
+	WriteLine
+	// ReadWord is an uncached single-word read (snooped as BusRd).
+	ReadWord
+	// WriteWord is an uncached single-word write (snooped as BusRdX).
+	WriteWord
+	// RMWWord is an atomic uncached read-modify-write (test-and-set) used
+	// by the lock subsystem (snooped as BusRdX).
+	RMWWord
+	// UpdateWord is a Dragon bus update: a single-word broadcast that
+	// sharers patch in place (snooped as BusUpd).  Memory is NOT written —
+	// the owning (Sm/M) cache writes the line back on eviction.
+	UpdateWord
+	// WriteLineInv is a full-line write by a non-caching master (the DMA
+	// engine): memory is written and every cached copy is invalidated
+	// (snooped as BusRdX; a dirty owner drains first, then the write
+	// supersedes it on retry).
+	WriteLineInv
+)
+
+// String returns a short mnemonic.
+func (k Kind) String() string {
+	switch k {
+	case ReadLine:
+		return "RdLine"
+	case ReadLineOwn:
+		return "RdLineX"
+	case Upgrade:
+		return "Upgr"
+	case WriteLine:
+		return "WrLine"
+	case ReadWord:
+		return "RdWord"
+	case WriteWord:
+		return "WrWord"
+	case RMWWord:
+		return "RMW"
+	case UpdateWord:
+		return "UpdWord"
+	case WriteLineInv:
+		return "WrLineInv"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Snooped reports whether other masters' snoopers observe this kind.
+func (k Kind) Snooped() bool { return k != WriteLine }
+
+// CoherenceOp maps the transaction kind to the snoop event presented to
+// coherence state machines.  Wrappers may further convert BusRd to BusRdX.
+func (k Kind) CoherenceOp() coherence.BusOp {
+	switch k {
+	case ReadLine, ReadWord:
+		return coherence.BusRd
+	case Upgrade:
+		return coherence.BusUpgr
+	case UpdateWord:
+		return coherence.BusUpd
+	default:
+		return coherence.BusRdX
+	}
+}
+
+// Transaction is one bus request.  Line kinds use Addr (line-aligned) and
+// Words; word kinds use Addr and Val.
+type Transaction struct {
+	Master int
+	Kind   Kind
+	Addr   uint32
+	Words  int
+	// Data carries the write-back payload for WriteLine and receives the
+	// fill payload for ReadLine/ReadLineOwn.
+	Data []uint32
+	// Val is the store value for WriteWord and RMWWord.
+	Val uint32
+	// Tag is an opaque caller cookie (used by controllers to match
+	// completions).
+	Tag any
+
+	retries int
+}
+
+// Retries reports how many times the transaction has been ARTRYed.
+func (t *Transaction) Retries() int { return t.retries }
+
+// Result is delivered to the master on transaction completion.
+type Result struct {
+	// Shared is the bus shared-signal value sampled during the address
+	// phase, after any wrapper override on the snooper side.  The master's
+	// own wrapper may override it again before the cache sees it.
+	Shared bool
+	// Supplied indicates a cache-to-cache transfer served the data.
+	Supplied bool
+	// Data is the fill payload for line reads.
+	Data []uint32
+	// Val is the read value for ReadWord and the *old* value for RMWWord.
+	Val uint32
+}
+
+// SnoopReply is a snooper's response during the address phase.
+type SnoopReply struct {
+	// Shared: the snooper retains a valid copy (bus SHD signal).
+	Shared bool
+	// Retry: the transaction must be aborted and retried (ARTRY).  The
+	// snooper is expected to drain the line (or finish its ISR) before the
+	// retry can succeed.
+	Retry bool
+	// Supply: the snooper provides the line cache-to-cache.
+	Supply bool
+	// Data is the supplied line when Supply is set.
+	Data []uint32
+}
+
+// Snooper observes other masters' transactions during the address phase.
+type Snooper interface {
+	SnoopBus(t *Transaction) SnoopReply
+}
+
+// Device is a memory-mapped bus slave (e.g. the hardware lock register).
+type Device interface {
+	// Contains reports whether the device decodes addr.
+	Contains(addr uint32) bool
+	// Access services the transaction, returning the data-phase latency in
+	// bus cycles.
+	Access(t *Transaction) (latency int, res Result)
+}
+
+// Observer is notified after every completed transaction (used by the
+// external snoop logic to shadow the ARM's cache contents, and by tests).
+type Observer func(t *Transaction, res Result)
+
+// ErrHardwareDeadlock is reported when the bus livelocks: an unbroken run of
+// aborted tenures with no forward progress, the condition the paper names
+// the "hardware deadlock problem" (Figure 4).
+var ErrHardwareDeadlock = errors.New("bus: hardware deadlock (unbroken retry livelock)")
+
+type completion func(Result)
+
+type pending struct {
+	txn  *Transaction
+	done completion
+}
+
+type masterState struct {
+	name  string
+	queue []pending
+	// holdUntil stalls the master's next grant until this bus cycle — the
+	// back-off a real master applies after an ARTRY before re-requesting.
+	holdUntil uint64
+	// latency is added to every completed tenure's data phase — the
+	// paper's wrapper protocol-conversion cost on this master's interface.
+	latency int
+}
+
+// Config holds bus construction parameters.
+type Config struct {
+	// Timing is the memory controller timing (paper Table 4 / Figure 8).
+	Timing memory.Timing
+	// C2CFirst/C2CPerWord set cache-to-cache supply latency.  The paper's
+	// platforms do not exercise this (only MOESI does), but the simulator
+	// supports homogeneous MOESI systems.
+	C2CFirst   int
+	C2CPerWord int
+	// DeadlockThreshold is the number of consecutive aborted tenures after
+	// which the bus declares a hardware deadlock.  Zero selects a default.
+	DeadlockThreshold int
+	// RetryBackoff is how many bus cycles an ARTRYed master waits before
+	// re-requesting.  Zero selects a default of 4.
+	RetryBackoff int
+	// Pipelined overlaps the next tenure's arbitration/address phase with
+	// the current data phase (AHB-style), saving two bus cycles per
+	// non-conflicting transaction.  The paper's ASB is not pipelined this
+	// way; the option exists for the ablation study.
+	Pipelined bool
+}
+
+// Stats aggregates bus activity counters.
+type Stats struct {
+	Tenures      uint64 // granted tenures (including aborted)
+	Completed    uint64 // transactions completed
+	Aborted      uint64 // tenures aborted by ARTRY
+	BusyCycles   uint64 // bus cycles with a tenure in progress
+	IdleCycles   uint64 // bus cycles with no tenure
+	SharedSeen   uint64 // completions with the shared signal asserted
+	Supplied     uint64 // cache-to-cache transfers
+	WordReads    uint64
+	WordWrites   uint64
+	RMWs         uint64
+	LineFills    uint64
+	LineUpgrades uint64
+	WriteBacks   uint64
+	WordUpdates  uint64
+	Overlapped   uint64 // tenures whose address phase overlapped a data phase
+}
+
+// Bus is the shared system bus.  Create with New, then register masters,
+// snoopers and devices before simulation starts.
+type Bus struct {
+	cfg     Config
+	mem     *memory.Memory
+	masters []*masterState
+	// snoopers[i] holds the snoopers owned by master i (skipped for its
+	// own transactions).
+	snoopers [][]Snooper
+	devices  []Device
+	obs      []Observer
+	log      *trace.Log
+
+	// tenure state
+	busy      bool
+	remaining int
+	cur       pending
+	curRes    Result
+	curMaster int
+	curKind   Kind
+	curAddr   uint32
+	curAbort  bool
+
+	lastGranted   int
+	preferredNext int // master to grant next after an ARTRY (BOFF), -1 none
+
+	consecutiveAborts int
+	deadlock          bool
+	onDeadlock        func()
+
+	cycle uint64 // bus cycles elapsed
+	next  *prepared
+
+	stats Stats
+}
+
+// New creates a bus backed by mem with the given configuration.
+func New(cfg Config, mem *memory.Memory, log *trace.Log) *Bus {
+	if cfg.DeadlockThreshold <= 0 {
+		cfg.DeadlockThreshold = 512
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 4
+	}
+	if cfg.C2CFirst <= 0 {
+		cfg.C2CFirst = 2
+	}
+	if cfg.C2CPerWord <= 0 {
+		cfg.C2CPerWord = 1
+	}
+	return &Bus{
+		cfg:           cfg,
+		mem:           mem,
+		log:           log,
+		preferredNext: -1,
+	}
+}
+
+// AddMaster registers a bus master and returns its id.
+func (b *Bus) AddMaster(name string) int {
+	b.masters = append(b.masters, &masterState{name: name})
+	b.snoopers = append(b.snoopers, nil)
+	return len(b.masters) - 1
+}
+
+// MasterName returns the registered name of master id.
+func (b *Bus) MasterName(id int) string { return b.masters[id].name }
+
+// SetMasterLatency charges extra bus cycles on every completed tenure of
+// master id, modelling the handshake-conversion cost of the wrapper between
+// the processor's native bus and the shared ASB.
+func (b *Bus) SetMasterLatency(id, busCycles int) {
+	if busCycles < 0 {
+		busCycles = 0
+	}
+	b.masters[id].latency = busCycles
+}
+
+// AddSnooper attaches a snooper owned by master owner.  The snooper is not
+// consulted for transactions initiated by its own master.
+func (b *Bus) AddSnooper(owner int, s Snooper) {
+	b.snoopers[owner] = append(b.snoopers[owner], s)
+}
+
+// AddDevice registers a memory-mapped slave.  Devices are decoded before
+// main memory.
+func (b *Bus) AddDevice(d Device) { b.devices = append(b.devices, d) }
+
+// AddObserver registers a completion observer.
+func (b *Bus) AddObserver(o Observer) { b.obs = append(b.obs, o) }
+
+// OnDeadlock installs a hook invoked once when livelock is detected.
+func (b *Bus) OnDeadlock(f func()) { b.onDeadlock = f }
+
+// Deadlocked reports whether the livelock detector has fired.
+func (b *Bus) Deadlocked() bool { return b.deadlock }
+
+// Stats returns a copy of the accumulated counters.
+func (b *Bus) Stats() Stats { return b.stats }
+
+// Timing returns the memory timing in force.
+func (b *Bus) Timing() memory.Timing { return b.cfg.Timing }
+
+// Submit queues a transaction for master t.Master.  done may be nil.
+func (b *Bus) Submit(t *Transaction, done func(Result)) {
+	if t.Master < 0 || t.Master >= len(b.masters) {
+		panic(fmt.Sprintf("bus: submit from unknown master %d", t.Master))
+	}
+	b.masters[t.Master].queue = append(b.masters[t.Master].queue, pending{txn: t, done: done})
+}
+
+// SubmitFlush queues a snoop-triggered write-back for master id.  It is
+// placed after any retried transaction already at the head of the queue but
+// ahead of ordinary pending work, reflecting that a snoop push is serviced
+// at the master's earliest opportunity *after* its own pending retry (the
+// PowerPC 60x ordering the paper describes).
+func (b *Bus) SubmitFlush(t *Transaction, done func(Result)) {
+	m := b.masters[t.Master]
+	idx := 0
+	for idx < len(m.queue) && m.queue[idx].txn.retries > 0 {
+		idx++
+	}
+	m.queue = append(m.queue, pending{})
+	copy(m.queue[idx+1:], m.queue[idx:])
+	m.queue[idx] = pending{txn: t, done: done}
+}
+
+// QueueLen reports the number of requests pending for master id.
+func (b *Bus) QueueLen(id int) int { return len(b.masters[id].queue) }
+
+// Idle reports whether the bus has no tenure in progress and no queued work.
+func (b *Bus) Idle() bool {
+	if b.busy {
+		return false
+	}
+	for _, m := range b.masters {
+		if len(m.queue) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Tick advances the bus by one bus cycle.
+func (b *Bus) Tick(now uint64) {
+	b.cycle++
+	if b.busy {
+		b.stats.BusyCycles++
+		// Pipelined mode: overlap the next tenure's arbitration and
+		// address phase with the current data phase, as AHB-class buses
+		// do.  Same-granule transactions are excluded so per-line
+		// coherence actions stay serialised.
+		if b.cfg.Pipelined && b.next == nil && b.remaining > 0 {
+			if id := b.pickMasterExcludingLine(b.curAddr, b.curMaster); id >= 0 {
+				pt := b.prepare(now, id)
+				if pt.ok {
+					b.next = &pt
+					b.stats.Overlapped++
+				}
+				// An aborted overlapped tenure consumed only spare
+				// address-phase bandwidth.
+			}
+		}
+		b.remaining--
+		if b.remaining <= 0 {
+			b.complete(now)
+			if b.next != nil {
+				pt := b.next
+				b.next = nil
+				b.busy = true
+				b.remaining = pt.latency
+				if b.remaining <= 0 {
+					b.remaining = 1
+				}
+				b.cur = pt.p
+				b.curRes = pt.res
+				b.curMaster = pt.p.txn.Master
+				b.curKind = pt.p.txn.Kind
+				b.curAddr = pt.p.txn.Addr
+				b.curAbort = false
+			}
+		}
+		return
+	}
+	id := b.pickMaster()
+	if id < 0 {
+		b.stats.IdleCycles++
+		return
+	}
+	b.grant(now, id)
+}
+
+// pickMasterExcludingLine is pickMaster restricted to masters whose head
+// transaction touches a different 32-byte granule than addr (and is not
+// the master currently on the bus, whose requests must stay ordered).
+func (b *Bus) pickMasterExcludingLine(addr uint32, curMaster int) int {
+	const granule = 32
+	ready := func(id int) bool {
+		m := b.masters[id]
+		if id == curMaster || len(m.queue) == 0 || b.cycle < m.holdUntil {
+			return false
+		}
+		return m.queue[0].txn.Addr/granule != addr/granule
+	}
+	if b.preferredNext >= 0 && ready(b.preferredNext) {
+		id := b.preferredNext
+		b.preferredNext = -1
+		return id
+	}
+	n := len(b.masters)
+	for i := 1; i <= n; i++ {
+		id := (b.lastGranted + i) % n
+		if ready(id) {
+			return id
+		}
+	}
+	return -1
+}
+
+func (b *Bus) pickMaster() int {
+	ready := func(id int) bool {
+		m := b.masters[id]
+		return len(m.queue) > 0 && b.cycle >= m.holdUntil
+	}
+	if b.preferredNext >= 0 && ready(b.preferredNext) {
+		id := b.preferredNext
+		b.preferredNext = -1
+		return id
+	}
+	n := len(b.masters)
+	for i := 1; i <= n; i++ {
+		id := (b.lastGranted + i) % n
+		if ready(id) {
+			return id
+		}
+	}
+	return -1
+}
+
+// prepared is a tenure whose address phase (arbitration, snooping, slave
+// access) has completed; only the data-phase cycles remain.
+type prepared struct {
+	p       pending
+	res     Result
+	latency int
+	ok      bool // false: the tenure was ARTRYed
+}
+
+func (b *Bus) grant(now uint64, id int) {
+	pt := b.prepare(now, id)
+	b.busy = true
+	if !pt.ok {
+		b.remaining = 1   // address phase; the grant consumed the arbitration cycle
+		b.cur = pending{} // nothing to complete
+		return
+	}
+	b.remaining = 1 + pt.latency // address phase + data; grant was the arbitration cycle
+	b.cur = pt.p
+	b.curRes = pt.res
+}
+
+func (b *Bus) prepare(now uint64, id int) prepared {
+	m := b.masters[id]
+	p := m.queue[0]
+	m.queue = m.queue[1:]
+	b.lastGranted = id
+	b.stats.Tenures++
+	t := p.txn
+	b.curMaster, b.curKind, b.curAddr, b.curAbort = id, t.Kind, t.Addr, false
+
+	// Address phase: present the transaction to every other master's
+	// snoopers and combine their replies.
+	var shared, retry, supply bool
+	var supplied []uint32
+	if t.Kind.Snooped() {
+		for owner, list := range b.snoopers {
+			if owner == t.Master {
+				continue
+			}
+			for _, s := range list {
+				r := s.SnoopBus(t)
+				shared = shared || r.Shared
+				retry = retry || r.Retry
+				if r.Supply {
+					supply = true
+					supplied = r.Data
+				}
+			}
+		}
+	}
+
+	if retry {
+		// ARTRY: abort after arbitration + address phase (2 bus cycles)
+		// and put the transaction back at the head of its master's queue.
+		t.retries++
+		b.stats.Aborted++
+		b.consecutiveAborts++
+		b.log.Addf(now, "bus", "ARTRY %s %s 0x%08x (retry %d)", m.name, t.Kind, t.Addr, t.retries)
+		b.curAbort = true
+		m.queue = append([]pending{p}, m.queue...)
+		m.holdUntil = b.cycle + uint64(b.cfg.RetryBackoff)
+		// Two livelock signatures: nothing at all completing (the paper's
+		// Figure 4 deadlock, both masters stalled), or one master's
+		// transaction being retried without bound while others progress
+		// (starvation — e.g. a cached lock line ping-ponging through the
+		// ISR).  Either way the system has lost forward progress.
+		if (b.consecutiveAborts >= b.cfg.DeadlockThreshold || t.retries >= b.cfg.DeadlockThreshold) && !b.deadlock {
+			b.deadlock = true
+			b.log.Addf(now, "bus", "hardware deadlock detected (consecutive aborts %d, transaction retries %d)", b.consecutiveAborts, t.retries)
+			if b.onDeadlock != nil {
+				b.onDeadlock()
+			}
+		}
+		return prepared{}
+	}
+	b.consecutiveAborts = 0
+
+	// Data phase.
+	res := Result{Shared: shared}
+	latency := 0
+	var dev Device
+	for _, d := range b.devices {
+		if d.Contains(t.Addr) {
+			dev = d
+			break
+		}
+	}
+	switch {
+	case supply && (t.Kind == ReadLine || t.Kind == ReadLineOwn):
+		res.Supplied = true
+		res.Data = make([]uint32, t.Words)
+		copy(res.Data, supplied)
+		latency = b.cfg.C2CFirst + (t.Words-1)*b.cfg.C2CPerWord
+		b.stats.Supplied++
+		b.stats.LineFills++
+	case dev != nil:
+		latency, res = dev.Access(t)
+		res.Shared = shared
+		b.countKind(t.Kind)
+	default:
+		latency = b.memAccess(t, &res)
+	}
+	if shared {
+		b.stats.SharedSeen++
+	}
+
+	latency += m.latency // wrapper protocol-conversion cost
+	b.log.Addf(now, "bus", "grant %s %s 0x%08x shared=%v lat=%d", m.name, t.Kind, t.Addr, shared, latency)
+	return prepared{p: p, res: res, latency: latency, ok: true}
+}
+
+func (b *Bus) countKind(k Kind) {
+	switch k {
+	case ReadLine, ReadLineOwn:
+		b.stats.LineFills++
+	case Upgrade:
+		b.stats.LineUpgrades++
+	case WriteLine, WriteLineInv:
+		b.stats.WriteBacks++
+	case ReadWord:
+		b.stats.WordReads++
+	case WriteWord:
+		b.stats.WordWrites++
+	case RMWWord:
+		b.stats.RMWs++
+	case UpdateWord:
+		b.stats.WordUpdates++
+	}
+}
+
+func (b *Bus) memAccess(t *Transaction, res *Result) int {
+	b.countKind(t.Kind)
+	switch t.Kind {
+	case ReadLine, ReadLineOwn:
+		res.Data = make([]uint32, t.Words)
+		b.mem.ReadLine(t.Addr, res.Data)
+		return b.cfg.Timing.BurstLatency(t.Words)
+	case WriteLine, WriteLineInv:
+		b.mem.WriteLine(t.Addr, t.Data)
+		return b.cfg.Timing.BurstLatency(len(t.Data))
+	case Upgrade:
+		return 1
+	case ReadWord:
+		res.Val = b.mem.ReadWord(t.Addr)
+		return b.cfg.Timing.SingleWord
+	case WriteWord:
+		b.mem.WriteWord(t.Addr, t.Val)
+		return b.cfg.Timing.SingleWord
+	case RMWWord:
+		res.Val = b.mem.ReadWord(t.Addr)
+		b.mem.WriteWord(t.Addr, t.Val)
+		return b.cfg.Timing.SingleWord + 2
+	case UpdateWord:
+		// Word broadcast cache-to-cache: sharers patched during the snoop
+		// phase; memory untouched.
+		return 2
+	default:
+		panic(fmt.Sprintf("bus: unknown transaction kind %v", t.Kind))
+	}
+}
+
+func (b *Bus) complete(now uint64) {
+	b.busy = false
+	p, res := b.cur, b.curRes
+	b.cur, b.curRes = pending{}, Result{}
+	if p.txn == nil {
+		return // aborted tenure
+	}
+	b.stats.Completed++
+	b.log.Addf(now, "bus", "done  %s %s 0x%08x", b.masters[p.txn.Master].name, p.txn.Kind, p.txn.Addr)
+	for _, o := range b.obs {
+		o(p.txn, res)
+	}
+	if p.done != nil {
+		p.done(res)
+	}
+}
+
+// Probe is a waveform-oriented snapshot of the bus state (package vcd).
+type Probe struct {
+	// Busy reports a tenure in progress.
+	Busy bool
+	// Master/Kind/Addr describe the current (or last) tenure.
+	Master int
+	Kind   Kind
+	Addr   uint32
+	// Aborting marks the current tenure as ARTRYed.
+	Aborting bool
+}
+
+// Probe returns the current bus activity snapshot.
+func (b *Bus) Probe() Probe {
+	return Probe{Busy: b.busy, Master: b.curMaster, Kind: b.curKind, Addr: b.curAddr, Aborting: b.curAbort && b.busy}
+}
+
+// PreferNext asks the arbiter to grant master id at the next opportunity
+// (the paper's BOFF: the arbiter boots the current master so the snoop
+// hitter can drain).  Called by snoopers that asserted Retry.
+func (b *Bus) PreferNext(id int) { b.preferredNext = id }

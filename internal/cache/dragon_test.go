@@ -1,0 +1,133 @@
+package cache
+
+import (
+	"testing"
+
+	"hetcc/internal/coherence"
+)
+
+// Dragon (update-based) controller behaviour: writes to shared lines
+// broadcast the word; sharers are patched in place, never invalidated.
+
+func TestDragonSharedWriteBroadcasts(t *testing.T) {
+	r := newRig(t, coherence.Dragon, coherence.Dragon)
+	r.access(0, false, 0x1000, 0)
+	r.access(1, false, 0x1000, 0) // both Sc
+	r.access(0, true, 0x1004, 77) // broadcast update
+	// The peer's copy is patched in place, still valid.
+	if st := r.state(1, 0x1000); st != coherence.Shared {
+		t.Fatalf("peer state %v, want Sc", st)
+	}
+	if w, ok := r.ctl[1].Cache().PeekWord(0x1004); !ok || w != 77 {
+		t.Fatalf("peer word %d (resident %v), want 77", w, ok)
+	}
+	// The writer became the owner (Sm) because the line is still shared.
+	if st := r.state(0, 0x1000); st != coherence.Owned {
+		t.Fatalf("writer state %v, want Sm", st)
+	}
+	if r.bus.Stats().WordUpdates != 1 {
+		t.Fatalf("updates %d, want 1", r.bus.Stats().WordUpdates)
+	}
+	// The peer reads the new value with a cache hit — zero extra traffic.
+	before := r.bus.Stats().Completed
+	if got := r.access(1, false, 0x1004, 0); got != 77 {
+		t.Fatalf("peer read %d, want 77", got)
+	}
+	if r.bus.Stats().Completed != before {
+		t.Fatal("peer read of an updated word used the bus")
+	}
+}
+
+func TestDragonExclusiveWriteIsSilent(t *testing.T) {
+	r := newRig(t, coherence.Dragon, coherence.Dragon)
+	r.access(0, false, 0x1000, 0) // E
+	before := r.bus.Stats().Completed
+	r.access(0, true, 0x1000, 5)
+	if r.bus.Stats().Completed != before {
+		t.Fatal("exclusive Dragon write used the bus")
+	}
+	if r.state(0, 0x1000) != coherence.Modified {
+		t.Fatalf("state %v, want M", r.state(0, 0x1000))
+	}
+}
+
+func TestDragonWriteMissFillsThenUpdates(t *testing.T) {
+	r := newRig(t, coherence.Dragon, coherence.Dragon)
+	r.access(1, false, 0x1000, 0) // peer holds the line (E)
+	r.access(0, true, 0x1000, 9)  // write miss: fill + broadcast
+	// Both copies valid and value-identical.
+	if r.state(0, 0x1000) != coherence.Owned {
+		t.Fatalf("writer %v, want Sm", r.state(0, 0x1000))
+	}
+	if r.state(1, 0x1000) != coherence.Shared {
+		t.Fatalf("peer %v, want Sc", r.state(1, 0x1000))
+	}
+	if w, _ := r.ctl[1].Cache().PeekWord(0x1000); w != 9 {
+		t.Fatalf("peer word %d, want 9", w)
+	}
+}
+
+func TestDragonOwnershipTransfersOnPeerUpdate(t *testing.T) {
+	r := newRig(t, coherence.Dragon, coherence.Dragon)
+	r.access(0, false, 0x1000, 0)
+	r.access(1, false, 0x1000, 0)
+	r.access(0, true, 0x1000, 1) // c0 -> Sm
+	r.access(1, true, 0x1004, 2) // c1 updates: ownership moves to c1
+	if r.state(0, 0x1000) != coherence.Shared {
+		t.Fatalf("old owner %v, want Sc", r.state(0, 0x1000))
+	}
+	if r.state(1, 0x1000) != coherence.Owned {
+		t.Fatalf("new owner %v, want Sm", r.state(1, 0x1000))
+	}
+	// All copies value-identical.
+	for core := 0; core < 2; core++ {
+		if w, _ := r.ctl[core].Cache().PeekWord(0x1000); w != 1 {
+			t.Fatalf("core %d word0 %d, want 1", core, w)
+		}
+		if w, _ := r.ctl[core].Cache().PeekWord(0x1004); w != 2 {
+			t.Fatalf("core %d word1 %d, want 2", core, w)
+		}
+	}
+}
+
+func TestDragonSmEvictionWritesBack(t *testing.T) {
+	r := newRig(t, coherence.Dragon, coherence.Dragon)
+	r.access(0, false, 0x0, 0)
+	r.access(1, false, 0x0, 0)
+	r.access(0, true, 0x0, 42) // c0 Sm; memory still stale
+	if r.mem.Peek(0x0) != 0 {
+		t.Fatal("update leaked to memory")
+	}
+	// Evict c0's Sm line (2-way, stride 0x200).
+	r.access(0, false, 0x200, 0)
+	r.access(0, false, 0x400, 0)
+	r.spin(func() bool { return r.bus.Idle() })
+	if r.mem.Peek(0x0) != 42 {
+		t.Fatalf("Sm eviction lost dirty data: mem=%d", r.mem.Peek(0x0))
+	}
+}
+
+func TestDragonDirtySupplyOnRead(t *testing.T) {
+	r := newRig(t, coherence.Dragon, coherence.Dragon)
+	r.access(0, true, 0x1000, 7) // M (exclusive write path: fill E, write silent)
+	got := r.access(1, false, 0x1000, 0)
+	if got != 7 {
+		t.Fatalf("read %d, want 7 (supplied by owner)", got)
+	}
+	if r.state(0, 0x1000) != coherence.Owned || r.state(1, 0x1000) != coherence.Shared {
+		t.Fatalf("states %v/%v, want Sm/Sc", r.state(0, 0x1000), r.state(1, 0x1000))
+	}
+	if r.mem.Peek(0x1000) != 0 {
+		t.Fatal("memory written despite cache-to-cache supply")
+	}
+}
+
+func TestDragonSnoopUpdateCounted(t *testing.T) {
+	r := newRig(t, coherence.Dragon, coherence.Dragon)
+	r.access(0, false, 0x1000, 0)
+	r.access(1, false, 0x1000, 0)
+	r.access(0, true, 0x1000, 1)
+	if s := r.ctl[1].Cache().Stats(); s.SnoopUpdates != 1 {
+		t.Fatalf("snoop updates %d, want 1", s.SnoopUpdates)
+	}
+}

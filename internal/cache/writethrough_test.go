@@ -1,0 +1,118 @@
+package cache
+
+import (
+	"testing"
+
+	"hetcc/internal/coherence"
+)
+
+func newWTRig(t *testing.T) *rig {
+	r := newRig(t, coherence.MESI, coherence.MESI)
+	// Mark everything above 0x8000 write-through on controller 0.
+	r.ctl[0].SetWriteThrough(func(addr uint32) bool { return addr >= 0x8000 })
+	return r
+}
+
+func TestWTReadAllocatesShared(t *testing.T) {
+	r := newWTRig(t)
+	r.mem.Poke(0x8004, 5)
+	if got := r.access(0, false, 0x8004, 0); got != 5 {
+		t.Fatalf("read %d, want 5", got)
+	}
+	if st := r.state(0, 0x8000); st != coherence.Shared {
+		t.Fatalf("WT fill state %v, want S (the SI protocol's valid state)", st)
+	}
+}
+
+func TestWTWriteGoesToMemoryAndUpdatesLine(t *testing.T) {
+	r := newWTRig(t)
+	r.access(0, false, 0x8000, 0) // allocate
+	r.access(0, true, 0x8000, 42)
+	if r.mem.Peek(0x8000) != 42 {
+		t.Fatal("write-through did not reach memory")
+	}
+	if got := r.access(0, false, 0x8000, 0); got != 42 {
+		t.Fatalf("cached copy reads %d, want 42 (updated in place)", got)
+	}
+	if st := r.state(0, 0x8000); st != coherence.Shared {
+		t.Fatalf("WT line state %v after write, want S (never dirty)", st)
+	}
+}
+
+func TestWTWriteMissDoesNotAllocate(t *testing.T) {
+	r := newWTRig(t)
+	r.access(0, true, 0x8100, 7)
+	if r.mem.Peek(0x8100) != 7 {
+		t.Fatal("write lost")
+	}
+	if r.state(0, 0x8100) != coherence.Invalid {
+		t.Fatal("write miss allocated a WT line")
+	}
+	if s := r.ctl[0].Cache().Stats(); s.WriteMisses != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestWTLineInvalidatedByPeerWrite(t *testing.T) {
+	r := newWTRig(t)
+	r.access(0, false, 0x8000, 0) // ctl0 holds WT line S
+	r.access(1, true, 0x8000, 9)  // ctl1 (write-back) takes ownership
+	if r.state(0, 0x8000) != coherence.Invalid {
+		t.Fatalf("WT copy survived a peer write: %v", r.state(0, 0x8000))
+	}
+	// ctl0 re-reads: the peer's M line drains first.
+	if got := r.access(0, false, 0x8000, 0); got != 9 {
+		t.Fatalf("reread %d, want 9", got)
+	}
+}
+
+func TestWTWriteInvalidatesPeerSharers(t *testing.T) {
+	r := newWTRig(t)
+	r.access(0, false, 0x8000, 0) // S in ctl0 (WT)
+	r.access(1, false, 0x8000, 0) // S in ctl1 (WB)
+	r.access(0, true, 0x8000, 3)  // WT write: snooped as a write
+	if r.state(1, 0x8000) != coherence.Invalid {
+		t.Fatalf("peer sharer state %v, want I", r.state(1, 0x8000))
+	}
+	if got := r.access(1, false, 0x8000, 0); got != 3 {
+		t.Fatalf("peer rereads %d, want 3", got)
+	}
+}
+
+func TestWTWriteDrainsPeerDirtyLine(t *testing.T) {
+	r := newWTRig(t)
+	r.access(1, true, 0x8000, 10) // ctl1 M
+	r.access(1, true, 0x8004, 11) // second word dirty too
+	r.access(0, true, 0x8004, 99) // WT word write from ctl0
+	// ctl1's line was drained and invalidated; memory must hold the merge.
+	if r.state(1, 0x8000) != coherence.Invalid {
+		t.Fatalf("peer state %v, want I", r.state(1, 0x8000))
+	}
+	if r.mem.Peek(0x8000) != 10 || r.mem.Peek(0x8004) != 99 {
+		t.Fatalf("memory %d/%d, want 10/99 (drain then word write)", r.mem.Peek(0x8000), r.mem.Peek(0x8004))
+	}
+}
+
+func TestWTEvictionIsSilent(t *testing.T) {
+	r := newWTRig(t)
+	// 2-way, set stride 0x200: fill three WT lines in one set.
+	r.access(0, false, 0x8000, 0)
+	r.access(0, false, 0x8200, 0)
+	before := r.bus.Stats().WriteBacks
+	r.access(0, false, 0x8400, 0) // evicts the LRU WT line
+	r.spin(func() bool { return r.bus.Idle() })
+	if r.bus.Stats().WriteBacks != before {
+		t.Fatal("clean WT eviction produced a write-back")
+	}
+}
+
+func TestWBRegionUnaffectedByWTPredicate(t *testing.T) {
+	r := newWTRig(t)
+	r.access(0, true, 0x1000, 5) // below the WT boundary: ordinary write-back
+	if st := r.state(0, 0x1000); st != coherence.Modified {
+		t.Fatalf("WB write state %v, want M", st)
+	}
+	if r.mem.Peek(0x1000) != 0 {
+		t.Fatal("write-back line leaked to memory")
+	}
+}

@@ -1,0 +1,365 @@
+// Package coherence implements the four invalidation-based cache coherence
+// protocols discussed in the paper — MEI (PowerPC755), MSI, MESI (Intel486,
+// Pentium class), and MOESI (UltraSPARC / AMD64) — as explicit state
+// machines with separate processor-side and snoop-side transition tables.
+//
+// The tables follow the classical formulations in Culler/Singh/Gupta
+// (paper ref. [12]) and the paper's Section 2.  Cache-to-cache sharing
+// (owner-supplied data) is implemented only for MOESI, matching the paper's
+// assumption that "cache-to-cache sharing is implemented only in processors
+// supporting the MOESI protocol".
+package coherence
+
+import "fmt"
+
+// State is a cache-line coherence state.
+type State uint8
+
+// The five classic states.  Each protocol uses a subset.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+	Owned
+)
+
+// String returns the one-letter conventional name of the state.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	case Owned:
+		return "O"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Valid reports whether the line holds data (any state but Invalid).
+func (s State) Valid() bool { return s != Invalid }
+
+// Dirty reports whether the line holds data newer than memory.
+func (s State) Dirty() bool { return s == Modified || s == Owned }
+
+// Kind identifies a coherence protocol.
+type Kind uint8
+
+// Protocol kinds.  None marks a processor with no coherence hardware at all
+// (the ARM920T in the paper's case study).
+const (
+	None Kind = iota
+	MEI
+	MSI
+	MESI
+	MOESI
+)
+
+// String returns the protocol's conventional name.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case MEI:
+		return "MEI"
+	case MSI:
+		return "MSI"
+	case MESI:
+		return "MESI"
+	case MOESI:
+		return "MOESI"
+	case Dragon:
+		return "Dragon"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// BusOp is a coherence-relevant bus operation observed by snoopers.
+type BusOp uint8
+
+const (
+	// BusRd is a read (line fill) by another master.
+	BusRd BusOp = iota
+	// BusRdX is a read-for-ownership (write miss) by another master.  The
+	// paper's wrappers convert observed BusRd into BusRdX ("read to write
+	// conversion") to eliminate the Shared and Owned states.
+	BusRdX
+	// BusUpgr is an ownership upgrade (write hit on a Shared line) by
+	// another master; no data transfer.
+	BusUpgr
+)
+
+// String returns the operation's conventional name.
+func (o BusOp) String() string {
+	switch o {
+	case BusRd:
+		return "BusRd"
+	case BusRdX:
+		return "BusRdX"
+	case BusUpgr:
+		return "BusUpgr"
+	case BusUpd:
+		return "BusUpd"
+	default:
+		return fmt.Sprintf("BusOp(%d)", uint8(o))
+	}
+}
+
+// SnoopOutcome is the result of presenting a bus operation to a snooping
+// cache controller that holds the line.
+type SnoopOutcome struct {
+	// Next is the line's state after the snoop.
+	Next State
+	// AssertShared asserts the bus shared signal (the snooper retains a
+	// valid copy, so the requester must allocate Shared).
+	AssertShared bool
+	// Flush writes the (dirty) line back to memory before the requester's
+	// access completes.  On the bus this is the ARTRY/HITM/BOFF retry
+	// sequence of the paper's Section 3.
+	Flush bool
+	// Supply provides the line directly to the requester (cache-to-cache
+	// sharing).  Only MOESI and Dragon set this.
+	Supply bool
+	// Update patches the broadcast word into the snooper's copy in place
+	// (Dragon bus updates only).
+	Update bool
+}
+
+type writeHitEntry struct {
+	next State
+	op   BusOp
+	bus  bool
+}
+
+// Protocol is an immutable description of one coherence protocol's state
+// machine.  Obtain instances with New.
+type Protocol struct {
+	kind     Kind
+	states   []State
+	fillRead func(shared bool) State
+	writeHit map[State]writeHitEntry
+	snoop    map[State]map[BusOp]SnoopOutcome
+}
+
+// New returns the state machine for protocol k.  It panics on None or an
+// unknown kind: callers must special-case coherence-less processors.
+func New(k Kind) *Protocol {
+	switch k {
+	case MEI:
+		return meiProtocol
+	case MSI:
+		return msiProtocol
+	case MESI:
+		return mesiProtocol
+	case MOESI:
+		return moesiProtocol
+	case Dragon:
+		return dragonProtocol
+	default:
+		panic(fmt.Sprintf("coherence: no state machine for protocol %v", k))
+	}
+}
+
+// Kind returns the protocol identifier.
+func (p *Protocol) Kind() Kind { return p.kind }
+
+// States returns the states the protocol can use, including Invalid.
+func (p *Protocol) States() []State {
+	out := make([]State, len(p.states))
+	copy(out, p.states)
+	return out
+}
+
+// Has reports whether s is a state of this protocol.
+func (p *Protocol) Has(s State) bool {
+	for _, st := range p.states {
+		if st == s {
+			return true
+		}
+	}
+	return false
+}
+
+// CacheToCache reports whether the protocol supplies data cache-to-cache.
+func (p *Protocol) CacheToCache() bool { return p.kind == MOESI || p.kind == Dragon }
+
+// FillStateAfterRead returns the state a line allocates into after a read
+// miss completes, given the shared signal sampled on the bus.
+func (p *Protocol) FillStateAfterRead(shared bool) State {
+	return p.fillRead(shared)
+}
+
+// FillStateAfterWrite returns the state after a write-miss fill (always
+// Modified in every invalidation protocol).
+func (p *Protocol) FillStateAfterWrite() State { return Modified }
+
+// ReadMissOp returns the bus operation issued on a read miss.
+func (p *Protocol) ReadMissOp() BusOp { return BusRd }
+
+// WriteMissOp returns the bus operation issued on a write miss.
+func (p *Protocol) WriteMissOp() BusOp { return BusRdX }
+
+// OnReadHit returns the state after a processor read hit (always unchanged
+// in invalidation protocols).
+func (p *Protocol) OnReadHit(s State) (State, error) {
+	if !p.Has(s) || s == Invalid {
+		return s, fmt.Errorf("coherence: %v read hit in state %v", p.kind, s)
+	}
+	return s, nil
+}
+
+// OnWriteHit returns the state after a processor write hit and the bus
+// operation (if any) required to gain ownership.
+func (p *Protocol) OnWriteHit(s State) (next State, op BusOp, needsBus bool, err error) {
+	e, ok := p.writeHit[s]
+	if !ok {
+		return s, 0, false, fmt.Errorf("coherence: %v write hit in state %v", p.kind, s)
+	}
+	return e.next, e.op, e.bus, nil
+}
+
+// OnSnoop returns the outcome of observing op while holding the line in
+// state s.  Snooping in Invalid is legal and is a no-op.
+func (p *Protocol) OnSnoop(s State, op BusOp) (SnoopOutcome, error) {
+	if s == Invalid {
+		return SnoopOutcome{Next: Invalid}, nil
+	}
+	row, ok := p.snoop[s]
+	if !ok {
+		return SnoopOutcome{}, fmt.Errorf("coherence: %v snoop in foreign state %v", p.kind, s)
+	}
+	out, ok := row[op]
+	if !ok {
+		return SnoopOutcome{}, fmt.Errorf("coherence: %v has no snoop transition for %v in %v", p.kind, op, s)
+	}
+	return out, nil
+}
+
+var meiProtocol = &Protocol{
+	kind:   MEI,
+	states: []State{Invalid, Exclusive, Modified},
+	// MEI has no Shared state: a read miss always allocates Exclusive and
+	// the shared signal is ignored (the PowerPC755 has no SHD input).
+	fillRead: func(bool) State { return Exclusive },
+	writeHit: map[State]writeHitEntry{
+		Exclusive: {next: Modified},
+		Modified:  {next: Modified},
+	},
+	snoop: map[State]map[BusOp]SnoopOutcome{
+		// Without a Shared state any snoop hit must relinquish the line.
+		Exclusive: {
+			BusRd:   {Next: Invalid},
+			BusRdX:  {Next: Invalid},
+			BusUpgr: {Next: Invalid},
+		},
+		Modified: {
+			BusRd:   {Next: Invalid, Flush: true},
+			BusRdX:  {Next: Invalid, Flush: true},
+			BusUpgr: {Next: Invalid, Flush: true},
+		},
+	},
+}
+
+var msiProtocol = &Protocol{
+	kind:   MSI,
+	states: []State{Invalid, Shared, Modified},
+	// MSI has no Exclusive state: a read miss always allocates Shared.
+	fillRead: func(bool) State { return Shared },
+	writeHit: map[State]writeHitEntry{
+		Shared:   {next: Modified, op: BusUpgr, bus: true},
+		Modified: {next: Modified},
+	},
+	snoop: map[State]map[BusOp]SnoopOutcome{
+		Shared: {
+			BusRd:   {Next: Shared, AssertShared: true},
+			BusRdX:  {Next: Invalid},
+			BusUpgr: {Next: Invalid},
+		},
+		Modified: {
+			BusRd:   {Next: Shared, Flush: true, AssertShared: true},
+			BusRdX:  {Next: Invalid, Flush: true},
+			BusUpgr: {Next: Invalid, Flush: true},
+		},
+	},
+}
+
+var mesiProtocol = &Protocol{
+	kind:   MESI,
+	states: []State{Invalid, Shared, Exclusive, Modified},
+	fillRead: func(shared bool) State {
+		if shared {
+			return Shared
+		}
+		return Exclusive
+	},
+	writeHit: map[State]writeHitEntry{
+		Shared:    {next: Modified, op: BusUpgr, bus: true},
+		Exclusive: {next: Modified},
+		Modified:  {next: Modified},
+	},
+	snoop: map[State]map[BusOp]SnoopOutcome{
+		Shared: {
+			BusRd:   {Next: Shared, AssertShared: true},
+			BusRdX:  {Next: Invalid},
+			BusUpgr: {Next: Invalid},
+		},
+		Exclusive: {
+			BusRd:   {Next: Shared, AssertShared: true},
+			BusRdX:  {Next: Invalid},
+			BusUpgr: {Next: Invalid},
+		},
+		Modified: {
+			BusRd:   {Next: Shared, Flush: true, AssertShared: true},
+			BusRdX:  {Next: Invalid, Flush: true},
+			BusUpgr: {Next: Invalid, Flush: true},
+		},
+	},
+}
+
+var moesiProtocol = &Protocol{
+	kind:   MOESI,
+	states: []State{Invalid, Shared, Exclusive, Modified, Owned},
+	fillRead: func(shared bool) State {
+		if shared {
+			return Shared
+		}
+		return Exclusive
+	},
+	writeHit: map[State]writeHitEntry{
+		Shared:    {next: Modified, op: BusUpgr, bus: true},
+		Owned:     {next: Modified, op: BusUpgr, bus: true},
+		Exclusive: {next: Modified},
+		Modified:  {next: Modified},
+	},
+	snoop: map[State]map[BusOp]SnoopOutcome{
+		Shared: {
+			BusRd:   {Next: Shared, AssertShared: true},
+			BusRdX:  {Next: Invalid},
+			BusUpgr: {Next: Invalid},
+		},
+		Exclusive: {
+			BusRd:   {Next: Shared, AssertShared: true},
+			BusRdX:  {Next: Invalid},
+			BusUpgr: {Next: Invalid},
+		},
+		// M->O on a snooped read, with the owner supplying the data
+		// cache-to-cache instead of flushing to memory.
+		Modified: {
+			BusRd:   {Next: Owned, AssertShared: true, Supply: true},
+			BusRdX:  {Next: Invalid, Supply: true},
+			BusUpgr: {Next: Invalid, Flush: true},
+		},
+		Owned: {
+			BusRd:   {Next: Owned, AssertShared: true, Supply: true},
+			BusRdX:  {Next: Invalid, Supply: true},
+			BusUpgr: {Next: Invalid},
+		},
+	},
+}

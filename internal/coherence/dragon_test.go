@@ -1,0 +1,120 @@
+package coherence
+
+import "testing"
+
+func TestDragonIdentity(t *testing.T) {
+	p := New(Dragon)
+	if p.Kind() != Dragon || !p.UpdateBased() || !Dragon.UpdateBased() {
+		t.Fatal("identity flags wrong")
+	}
+	for _, k := range []Kind{MEI, MSI, MESI, MOESI} {
+		if k.UpdateBased() {
+			t.Errorf("%v claims update-based", k)
+		}
+	}
+	if !p.CacheToCache() {
+		t.Fatal("Dragon supplies Sm/M lines cache-to-cache")
+	}
+	if Dragon.String() != "Dragon" {
+		t.Fatal("name")
+	}
+}
+
+func TestDragonFillStates(t *testing.T) {
+	p := New(Dragon)
+	if p.FillStateAfterRead(false) != Exclusive {
+		t.Fatal("unshared fill should be E")
+	}
+	if p.FillStateAfterRead(true) != Shared {
+		t.Fatal("shared fill should be Sc")
+	}
+}
+
+func TestDragonWriteHits(t *testing.T) {
+	p := New(Dragon)
+	cases := []struct {
+		from     State
+		needsBus bool
+	}{
+		{Exclusive, false},
+		{Modified, false},
+		{Shared, true},
+		{Owned, true},
+	}
+	for _, c := range cases {
+		_, op, needsBus, err := p.OnWriteHit(c.from)
+		if err != nil {
+			t.Fatalf("%v: %v", c.from, err)
+		}
+		if needsBus != c.needsBus {
+			t.Errorf("write hit %v needsBus=%v, want %v", c.from, needsBus, c.needsBus)
+		}
+		if needsBus && op != BusUpd {
+			t.Errorf("write hit %v issues %v, want BusUpd", c.from, op)
+		}
+	}
+}
+
+func TestDragonAfterUpdate(t *testing.T) {
+	p := New(Dragon)
+	if p.AfterUpdate(true) != Owned {
+		t.Fatal("still-shared update should end Sm")
+	}
+	if p.AfterUpdate(false) != Modified {
+		t.Fatal("unshared update should end M")
+	}
+}
+
+func TestAfterUpdatePanicsOnInvalidationProtocols(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(MESI).AfterUpdate(true)
+}
+
+func TestDragonSnoopUpdates(t *testing.T) {
+	p := New(Dragon)
+	for _, s := range []State{Shared, Owned} {
+		out, err := p.OnSnoop(s, BusUpd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Update || !out.AssertShared {
+			t.Errorf("snoop BusUpd in %v: %+v, want update+shared", s, out)
+		}
+		if out.Next != Shared {
+			t.Errorf("snoop BusUpd in %v next %v, want Sc (ownership moves to the updater)", s, out.Next)
+		}
+	}
+}
+
+func TestDragonSnoopReadsNeverInvalidate(t *testing.T) {
+	p := New(Dragon)
+	for _, s := range []State{Shared, Exclusive, Modified, Owned} {
+		out, err := p.OnSnoop(s, BusRd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Next == Invalid {
+			t.Errorf("Dragon snoop read invalidated %v", s)
+		}
+		if !out.AssertShared {
+			t.Errorf("Dragon snoop read in %v did not assert shared", s)
+		}
+	}
+	// Dirty states supply the line.
+	for _, s := range []State{Modified, Owned} {
+		out, _ := p.OnSnoop(s, BusRd)
+		if !out.Supply || out.Next != Owned {
+			t.Errorf("snoop read in %v: %+v, want supply -> Sm", s, out)
+		}
+	}
+}
+
+func TestDragonUpdatePropagatesThroughBusOpString(t *testing.T) {
+	if BusUpd.String() != "BusUpd" {
+		t.Fatal("BusUpd stringer")
+	}
+}

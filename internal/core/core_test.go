@@ -1,0 +1,231 @@
+package core
+
+import (
+	"testing"
+
+	"hetcc/internal/coherence"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		protos []coherence.Kind
+		want   PlatformClass
+	}{
+		{[]coherence.Kind{coherence.None, coherence.None}, PF1},
+		{[]coherence.Kind{coherence.MEI, coherence.None}, PF2},
+		{[]coherence.Kind{coherence.None, coherence.MESI}, PF2},
+		{[]coherence.Kind{coherence.MEI, coherence.MESI}, PF3},
+		{[]coherence.Kind{coherence.MOESI}, PF3},
+		{[]coherence.Kind{coherence.MEI, coherence.MSI, coherence.None}, PF2},
+	}
+	for _, c := range cases {
+		got, err := Classify(c.protos)
+		if err != nil {
+			t.Fatalf("%v: %v", c.protos, err)
+		}
+		if got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.protos, got, c.want)
+		}
+	}
+	if _, err := Classify(nil); err == nil {
+		t.Error("Classify(nil) did not error")
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if PF1.String() != "PF1" || PF2.String() != "PF2" || PF3.String() != "PF3" {
+		t.Error("platform class strings wrong")
+	}
+}
+
+// TestReduceEffectiveProtocol checks the paper's Section 2 reduction table
+// for every pair of protocols.
+func TestReduceEffectiveProtocol(t *testing.T) {
+	pairs := []struct {
+		a, b coherence.Kind
+		want coherence.Kind
+	}{
+		{coherence.MEI, coherence.MEI, coherence.MEI},
+		{coherence.MEI, coherence.MSI, coherence.MEI},
+		{coherence.MEI, coherence.MESI, coherence.MEI},
+		{coherence.MEI, coherence.MOESI, coherence.MEI},
+		{coherence.MSI, coherence.MSI, coherence.MSI},
+		{coherence.MSI, coherence.MESI, coherence.MSI},
+		{coherence.MSI, coherence.MOESI, coherence.MSI},
+		{coherence.MESI, coherence.MESI, coherence.MESI},
+		{coherence.MESI, coherence.MOESI, coherence.MESI},
+		{coherence.MOESI, coherence.MOESI, coherence.MOESI},
+	}
+	for _, p := range pairs {
+		for _, order := range [][]coherence.Kind{{p.a, p.b}, {p.b, p.a}} {
+			integ, err := Reduce(order)
+			if err != nil {
+				t.Fatalf("Reduce(%v): %v", order, err)
+			}
+			if integ.Effective != p.want {
+				t.Errorf("Reduce(%v) effective %v, want %v", order, integ.Effective, p.want)
+			}
+			if integ.Class != PF3 {
+				t.Errorf("Reduce(%v) class %v, want PF3", order, integ.Class)
+			}
+			if integ.LockCaveat != "" {
+				t.Errorf("Reduce(%v) has lock caveat on PF3", order)
+			}
+		}
+	}
+}
+
+func TestReduceMEIMixPolicies(t *testing.T) {
+	integ, err := Reduce([]coherence.Kind{coherence.MEI, coherence.MESI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The MESI snooper must convert reads to writes; the MEI side needs no
+	// conversion (it has no S state), exactly as the paper notes for the
+	// PowerPC755 side.
+	if integ.Policies[0].ConvertReadToWrite {
+		t.Error("MEI processor got read-to-write conversion (unnecessary)")
+	}
+	if !integ.Policies[1].ConvertReadToWrite {
+		t.Error("MESI processor missing read-to-write conversion")
+	}
+	for i, p := range integ.Policies {
+		if p.Shared != SharedForceDeassert {
+			t.Errorf("P%d shared override %v, want force-deassert", i, p.Shared)
+		}
+		if p.AllowCacheToCache {
+			t.Errorf("P%d allows cache-to-cache in a heterogeneous mix", i)
+		}
+	}
+}
+
+func TestReduceMSIMixPolicies(t *testing.T) {
+	integ, err := Reduce([]coherence.Kind{coherence.MSI, coherence.MESI, coherence.MOESI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if integ.Effective != coherence.MSI {
+		t.Fatalf("effective %v, want MSI", integ.Effective)
+	}
+	if integ.Policies[0].Shared != SharedPassthrough {
+		t.Error("MSI processor should pass the shared signal through")
+	}
+	if integ.Policies[1].Shared != SharedForceAssert || integ.Policies[1].ConvertReadToWrite {
+		t.Errorf("MESI policy %v, want force-assert without conversion", integ.Policies[1])
+	}
+	if integ.Policies[2].Shared != SharedForceAssert || !integ.Policies[2].ConvertReadToWrite {
+		t.Errorf("MOESI policy %v, want force-assert with conversion", integ.Policies[2])
+	}
+}
+
+func TestReduceMESIMOESIPolicies(t *testing.T) {
+	integ, err := Reduce([]coherence.Kind{coherence.MESI, coherence.MOESI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if integ.Effective != coherence.MESI {
+		t.Fatalf("effective %v, want MESI", integ.Effective)
+	}
+	if integ.Policies[0].ConvertReadToWrite {
+		t.Error("MESI side should not convert")
+	}
+	if !integ.Policies[1].ConvertReadToWrite {
+		t.Error("MOESI side must convert (prohibits cache-to-cache sharing)")
+	}
+}
+
+func TestReduceHomogeneousMOESIKeepsC2C(t *testing.T) {
+	integ, err := Reduce([]coherence.Kind{coherence.MOESI, coherence.MOESI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range integ.Policies {
+		if !p.AllowCacheToCache {
+			t.Errorf("P%d lost cache-to-cache in homogeneous MOESI", i)
+		}
+		if p.ConvertReadToWrite || p.Shared != SharedPassthrough {
+			t.Errorf("P%d policy %v not passthrough", i, p)
+		}
+	}
+}
+
+func TestReduceWithCoherencelessProcessors(t *testing.T) {
+	integ, err := Reduce([]coherence.Kind{coherence.MEI, coherence.None})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if integ.Class != PF2 {
+		t.Errorf("class %v, want PF2", integ.Class)
+	}
+	if !integ.NeedsSnoopLogic[1] || integ.NeedsSnoopLogic[0] {
+		t.Errorf("snoop logic flags %v, want [false true]", integ.NeedsSnoopLogic)
+	}
+	if integ.LockCaveat == "" {
+		t.Error("PF2 integration missing lock caveat")
+	}
+	if integ.Effective != coherence.MEI {
+		t.Errorf("effective %v, want MEI", integ.Effective)
+	}
+}
+
+func TestReducePF1(t *testing.T) {
+	integ, err := Reduce([]coherence.Kind{coherence.None, coherence.None})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if integ.Class != PF1 || integ.LockCaveat == "" {
+		t.Errorf("PF1 integration: %+v", integ)
+	}
+	for i, need := range integ.NeedsSnoopLogic {
+		if !need {
+			t.Errorf("P%d missing snoop logic on PF1", i)
+		}
+	}
+}
+
+func TestPolicyHelpers(t *testing.T) {
+	p := WrapperPolicy{ConvertReadToWrite: true, Shared: SharedForceDeassert}
+	if p.SnoopOp(coherence.BusRd) != coherence.BusRdX {
+		t.Error("conversion missed BusRd")
+	}
+	if p.SnoopOp(coherence.BusRdX) != coherence.BusRdX || p.SnoopOp(coherence.BusUpgr) != coherence.BusUpgr {
+		t.Error("conversion touched non-read ops")
+	}
+	if p.ApplyShared(true) {
+		t.Error("force-deassert did not clear shared")
+	}
+	p.Shared = SharedForceAssert
+	if !p.ApplyShared(false) {
+		t.Error("force-assert did not set shared")
+	}
+	p.Shared = SharedPassthrough
+	if p.ApplyShared(true) != true || p.ApplyShared(false) != false {
+		t.Error("passthrough altered shared")
+	}
+}
+
+func TestAllowedStates(t *testing.T) {
+	// MSI in an MEI mix keeps its (exclusive-behaving) S state.
+	got := AllowedStates(coherence.MSI, coherence.MEI)
+	want := map[coherence.State]bool{coherence.Invalid: true, coherence.Shared: true, coherence.Modified: true}
+	if len(got) != len(want) {
+		t.Fatalf("AllowedStates(MSI, MEI) = %v", got)
+	}
+	for _, s := range got {
+		if !want[s] {
+			t.Fatalf("AllowedStates(MSI, MEI) includes %v", s)
+		}
+	}
+	// MESI in an MEI mix loses S.
+	for _, s := range AllowedStates(coherence.MESI, coherence.MEI) {
+		if s == coherence.Shared {
+			t.Error("MESI in MEI mix still allows S")
+		}
+	}
+	// MOESI in an MSI mix loses E and O.
+	for _, s := range AllowedStates(coherence.MOESI, coherence.MSI) {
+		if s == coherence.Exclusive || s == coherence.Owned {
+			t.Errorf("MOESI in MSI mix still allows %v", s)
+		}
+	}
+}

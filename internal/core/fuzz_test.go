@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"hetcc/internal/coherence"
+)
+
+// FuzzReduceAndVerify: any protocol vector either fails Reduce with a
+// clear error (Dragon mixes) or produces policies the model checker proves
+// sound.  The checker itself must never panic on reduced configurations.
+func FuzzReduceAndVerify(f *testing.F) {
+	f.Add(uint8(1), uint8(3))
+	f.Add(uint8(2), uint8(4))
+	f.Add(uint8(5), uint8(5))
+	f.Add(uint8(0), uint8(1))
+	f.Fuzz(func(t *testing.T, a, b uint8) {
+		kinds := []coherence.Kind{
+			coherence.Kind(a % 6), // None..Dragon
+			coherence.Kind(b % 6),
+		}
+		integ, err := Reduce(kinds)
+		if err != nil {
+			return // rejected combination (e.g. Dragon mix): fine
+		}
+		// Model-check the coherent subset.
+		var protos []coherence.Kind
+		var pols []WrapperPolicy
+		for i, k := range kinds {
+			if k != coherence.None {
+				protos = append(protos, k)
+				pols = append(pols, integ.Policies[i])
+			}
+		}
+		if len(protos) == 0 {
+			return
+		}
+		res, err := Verify(protos, pols, integ.Effective)
+		if err != nil {
+			t.Fatalf("Verify(%v): %v", protos, err)
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("Reduce(%v) produced unsound policies: %v", kinds, res.Violations[0])
+		}
+	})
+}

@@ -1,0 +1,540 @@
+// Package cpu models the processor cores of the heterogeneous platform as
+// program-driven in-order machines: one micro-op (package isa) per CPU
+// cycle when not stalled on the memory system.
+//
+// Three behaviours matter for reproducing the paper:
+//
+//   - clock domains: the PowerPC755 runs at 100 MHz while the ARM920T and
+//     the ASB run at 50 MHz (Table 4) — the platform registers each core
+//     with the matching engine divisor;
+//   - lock protocols execute as explicit memory-operation sequences
+//     (package lock), so spin-waiting occupies the bus realistically;
+//   - the ARM920T's software snooping: the snoop logic raises nFIQ, the
+//     core takes the interrupt only at an instruction boundary after the
+//     configurable interrupt response time, and the service routine drains
+//     or invalidates the hit line.  A core stalled on a bus access cannot
+//     reach an instruction boundary — exactly the window that produces the
+//     paper's hardware-deadlock problem (Figure 4).
+package cpu
+
+import (
+	"fmt"
+
+	"hetcc/internal/bus"
+	"hetcc/internal/cache"
+	"hetcc/internal/isa"
+	"hetcc/internal/lock"
+	"hetcc/internal/snooplogic"
+)
+
+// Attr describes how the core must access an address region.
+type Attr struct {
+	// Cacheable routes accesses through the data cache.
+	Cacheable bool
+}
+
+// AttrFunc is the platform's address-region attribute table.
+type AttrFunc func(addr uint32) Attr
+
+// Config parameterises a core.
+type Config struct {
+	// Name labels the core in reports and traces.
+	Name string
+	// ClockDiv is the engine-cycle divisor (1 = 100 MHz, 2 = 50 MHz).
+	ClockDiv uint64
+	// InterruptResponse is the minimum number of CPU cycles between nFIQ
+	// assertion and the core taking the interrupt (paper Figure 4's
+	// "interrupt response time").
+	InterruptResponse int
+	// ISREntry and ISRExit are the CPU-cycle overheads of entering and
+	// leaving the interrupt service routine (mode switch, register save
+	// and restore, return).
+	ISREntry int
+	ISRExit  int
+	// CacheOpOverhead is the extra CPU cycles charged per explicit cache
+	// maintenance instruction (address generation and loop control in the
+	// software solution's drain loop).
+	CacheOpOverhead int
+	// AccessOverhead is the extra CPU cycles charged per load/store
+	// micro-op, modelling the address-generation and loop-control
+	// instructions that surround each access in the real microbenchmark
+	// kernels.
+	AccessOverhead int
+}
+
+// Stats collects per-core counters.
+type Stats struct {
+	Instructions uint64
+	StallCycles  uint64
+	DelayCycles  uint64
+	BusyRetries  uint64
+	LockAcquires uint64
+	LockReleases uint64
+	LockOps      uint64
+	CleanOps     uint64
+	InvalOps     uint64
+	FIQsRaised   uint64
+	ISRRuns      uint64
+	ISRCycles    uint64
+	HaltCycle    uint64
+	Halted       bool
+}
+
+// Hooks receive retired loads and stores (used by the platform's golden-
+// model coherence checker and by tests).  Either may be nil.
+type Hooks struct {
+	OnLoad  func(core int, addr, val uint32, now uint64)
+	OnStore func(core int, addr, val uint32, now uint64)
+}
+
+type runState uint8
+
+const (
+	stateRun runState = iota
+	stateStalled
+)
+
+type fiqEntry struct {
+	base    uint32
+	readyAt uint64 // engine cycle at which the interrupt may be taken
+	stamped bool
+}
+
+type isrPhase uint8
+
+const (
+	isrIdle isrPhase = iota
+	isrClean
+	isrExit
+)
+
+// CPU is one simulated core.
+type CPU struct {
+	cfg   Config
+	id    int
+	ctl   *cache.Controller
+	attr  AttrFunc
+	locks *lock.Manager
+	snoop *snooplogic.SnoopLogic // the core's own snoop logic (nil unless PF1/PF2)
+	hooks Hooks
+
+	prog    isa.Program
+	pc      int
+	state   runState
+	halted  bool
+	delay   int
+	lastNow uint64
+
+	lockStep    lock.Stepper
+	lockPending *lock.MemOp
+	lockLast    uint32
+	releasing   bool
+
+	locksHeld  int
+	fiqs       []fiqEntry
+	isr        isrPhase
+	isrLine    uint32
+	isrFound   bool
+	savedDelay int // program delay preempted by an interrupt
+
+	onHalt func(id int)
+	stats  Stats
+}
+
+// New builds a core.  ctl is its cache controller (also the path for
+// uncached accesses), attr the platform address map, locks the lock
+// manager.  snoop is the core's own external snoop logic, or nil.
+func New(cfg Config, id int, ctl *cache.Controller, attr AttrFunc, locks *lock.Manager, snoop *snooplogic.SnoopLogic) *CPU {
+	if cfg.ClockDiv == 0 {
+		cfg.ClockDiv = 1
+	}
+	return &CPU{cfg: cfg, id: id, ctl: ctl, attr: attr, locks: locks, snoop: snoop}
+}
+
+// SetHooks installs load/store observers.
+func (c *CPU) SetHooks(h Hooks) { c.hooks = h }
+
+// OnHalt installs the halt notification used by the platform to stop the
+// engine when every core has retired its program.
+func (c *CPU) OnHalt(f func(id int)) { c.onHalt = f }
+
+// LoadProgram installs (and validates) the core's program.
+func (c *CPU) LoadProgram(p isa.Program) error {
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("cpu %s: %w", c.cfg.Name, err)
+	}
+	c.prog = p
+	c.pc = 0
+	c.state = stateRun
+	c.halted = false
+	return nil
+}
+
+// Name returns the configured name.
+func (c *CPU) Name() string { return c.cfg.Name }
+
+// ID returns the platform core index.
+func (c *CPU) ID() int { return c.id }
+
+// Config returns the core configuration.
+func (c *CPU) Config() Config { return c.cfg }
+
+// Stats returns a copy of the counters.
+func (c *CPU) Stats() Stats { return c.stats }
+
+// Halted reports whether the program has retired.  A halted core still
+// services interrupts (it idles, it is not powered off), so the software
+// snooping of a retired task keeps working.
+func (c *CPU) Halted() bool { return c.halted }
+
+// Controller exposes the core's cache controller (examples, tests).
+func (c *CPU) Controller() *cache.Controller { return c.ctl }
+
+// Stalled reports whether the core is blocked on an outstanding memory
+// access (waveform probing).
+func (c *CPU) Stalled() bool { return c.state == stateStalled }
+
+// LocksHeld reports how many critical-section locks the core currently
+// holds (the platform's race detector uses it).
+func (c *CPU) LocksHeld() int { return c.locksHeld }
+
+// InISR reports whether the interrupt service routine is running
+// (waveform probing).
+func (c *CPU) InISR() bool { return c.isr != isrIdle }
+
+// RaiseFIQ implements snooplogic.FIQRaiser.  The readyAt horizon models the
+// interrupt response time; the entry is stamped lazily on the next tick
+// because the snoop logic has no engine-clock access (matching hardware,
+// where nFIQ is a wire sampled by the core).
+func (c *CPU) RaiseFIQ(lineBase uint32) {
+	c.stats.FIQsRaised++
+	c.fiqs = append(c.fiqs, fiqEntry{base: lineBase})
+}
+
+// Tick advances the core by one CPU cycle.
+func (c *CPU) Tick(now uint64) {
+	c.lastNow = now
+	// Stamp newly raised FIQs with their response horizon.
+	for i := range c.fiqs {
+		if !c.fiqs[i].stamped {
+			c.fiqs[i].stamped = true
+			c.fiqs[i].readyAt = now + uint64(c.cfg.InterruptResponse)*c.cfg.ClockDiv
+		}
+	}
+	// A core stalled on an outstanding memory access cannot take an
+	// interrupt — this window is the root of the paper's hardware-deadlock
+	// problem (Figure 4).
+	if c.state == stateStalled {
+		c.stats.StallCycles++
+		return
+	}
+	// ISR in progress: run it (including its entry/exit delay cycles).
+	if c.isr != isrIdle {
+		if c.delay > 0 {
+			c.delay--
+			c.stats.DelayCycles++
+			c.stats.ISRCycles++
+			return
+		}
+		c.stepISR(now)
+		return
+	}
+	// Take a ripe interrupt.  Plain computation (Delay) is interruptible;
+	// the remaining delay resumes after the ISR.  A halted core idles but
+	// keeps servicing interrupts.
+	if len(c.fiqs) > 0 && c.fiqs[0].stamped && now >= c.fiqs[0].readyAt {
+		f := c.fiqs[0]
+		c.fiqs = c.fiqs[1:]
+		c.enterISR(now, f.base)
+		return
+	}
+	if c.halted {
+		return
+	}
+	if c.delay > 0 {
+		c.delay--
+		c.stats.DelayCycles++
+		return
+	}
+	if c.pc >= len(c.prog) {
+		c.halt(now)
+		return
+	}
+	c.execute(now, c.prog[c.pc])
+}
+
+func (c *CPU) halt(now uint64) {
+	if c.halted {
+		return
+	}
+	c.halted = true
+	c.stats.Halted = true
+	c.stats.HaltCycle = now
+	if c.onHalt != nil {
+		c.onHalt(c.id)
+	}
+}
+
+func (c *CPU) enterISR(now uint64, base uint32) {
+	c.stats.ISRRuns++
+	c.isr = isrClean
+	c.isrLine = base
+	c.savedDelay = c.delay
+	c.delay = c.cfg.ISREntry
+	c.stats.ISRCycles++
+}
+
+func (c *CPU) stepISR(now uint64) {
+	c.stats.ISRCycles++
+	switch c.isr {
+	case isrClean:
+		c.isrFound = c.ctl.Cache().Lookup(c.isrLine) != nil
+		status := c.ctl.Clean(c.isrLine, func() {
+			c.state = stateRun
+			c.isr = isrExit
+			c.delay = c.cfg.ISRExit
+		})
+		switch status {
+		case cache.Done:
+			c.isr = isrExit
+			c.delay = c.cfg.ISRExit
+		case cache.Pending:
+			c.state = stateStalled
+		case cache.Busy:
+			c.stats.BusyRetries++
+		}
+	case isrExit:
+		if c.snoop != nil {
+			c.snoop.Complete(c.isrLine, c.isrFound)
+		}
+		c.isr = isrIdle
+		// Resume the computation the interrupt preempted.
+		c.delay = c.savedDelay
+		c.savedDelay = 0
+	}
+}
+
+func (c *CPU) execute(now uint64, op isa.Op) {
+	switch op.Kind {
+	case isa.Nop:
+		c.retire()
+	case isa.Delay:
+		c.delay = op.N
+		c.retire()
+	case isa.Read:
+		c.memAccess(now, false, op.Addr, 0)
+	case isa.Write:
+		c.memAccess(now, true, op.Addr, op.Val)
+	case isa.CleanLine:
+		c.stats.CleanOps++
+		status := c.ctl.Clean(op.Addr, func() {
+			c.state = stateRun
+			c.delay = c.cfg.CacheOpOverhead
+			c.retire()
+		})
+		switch status {
+		case cache.Done:
+			c.noteClean(op.Addr)
+			c.delay = c.cfg.CacheOpOverhead
+			c.retire()
+		case cache.Pending:
+			c.state = stateStalled
+		case cache.Busy:
+			c.stats.BusyRetries++
+		}
+	case isa.InvalLine:
+		c.stats.InvalOps++
+		c.ctl.Invalidate(op.Addr)
+		c.noteClean(op.Addr)
+		c.delay = c.cfg.CacheOpOverhead
+		c.retire()
+	case isa.WaitEq:
+		c.waitEq(now, op.Addr, op.Val)
+	case isa.LockAcquire:
+		c.stepLock(now, false, op.N)
+	case isa.LockRelease:
+		c.stepLock(now, true, op.N)
+	case isa.Halt:
+		c.stats.Instructions++
+		c.halt(now)
+	default:
+		panic(fmt.Sprintf("cpu %s: unknown op %v", c.cfg.Name, op))
+	}
+}
+
+// waitEq polls addr until it reads val: the op retires only on a match,
+// otherwise the core backs off a few cycles and polls again.
+func (c *CPU) waitEq(now uint64, addr, val uint32) {
+	finish := func(rv uint32) {
+		c.state = stateRun
+		if rv == val {
+			c.retire()
+			return
+		}
+		c.delay = 4 + c.cfg.AccessOverhead // poll back-off; pc unchanged
+	}
+	if c.attr(addr).Cacheable {
+		status, v := c.ctl.Access(false, addr, 0, finish)
+		switch status {
+		case cache.Done:
+			finish(v)
+		case cache.Pending:
+			c.state = stateStalled
+		case cache.Busy:
+			c.stats.BusyRetries++
+		}
+		return
+	}
+	status := c.ctl.Uncached(bus.ReadWord, addr, 0, finish)
+	if status == cache.Busy {
+		c.stats.BusyRetries++
+		return
+	}
+	c.state = stateStalled
+}
+
+// noteClean informs the core's snoop logic that a line left the cache
+// without a bus write-back (clean invalidation) so its CAM stays tight.
+// Dirty drains are observed on the bus and need no note.
+func (c *CPU) noteClean(addr uint32) {
+	if c.snoop != nil {
+		c.snoop.NoteInvalidate(addr)
+	}
+}
+
+func (c *CPU) retire() {
+	c.stats.Instructions++
+	c.pc++
+}
+
+func (c *CPU) memAccess(now uint64, write bool, addr, val uint32) {
+	a := c.attr(addr)
+	if a.Cacheable {
+		status, v := c.ctl.Access(write, addr, val, func(rv uint32) {
+			c.noteAccess(write, addr, val, rv, c.lastNow)
+			c.state = stateRun
+			c.delay = c.cfg.AccessOverhead
+			c.retire()
+		})
+		switch status {
+		case cache.Done:
+			c.noteAccess(write, addr, val, v, c.lastNow)
+			c.delay = c.cfg.AccessOverhead
+			c.retire()
+		case cache.Pending:
+			c.state = stateStalled
+		case cache.Busy:
+			c.stats.BusyRetries++
+		}
+		return
+	}
+	kind := bus.ReadWord
+	if write {
+		kind = bus.WriteWord
+	}
+	status := c.ctl.Uncached(kind, addr, val, func(rv uint32) {
+		c.noteAccess(write, addr, val, rv, c.lastNow)
+		c.state = stateRun
+		c.delay = c.cfg.AccessOverhead
+		c.retire()
+	})
+	if status == cache.Busy {
+		c.stats.BusyRetries++
+		return
+	}
+	c.state = stateStalled
+}
+
+func (c *CPU) noteAccess(write bool, addr, val, readVal uint32, now uint64) {
+	if write {
+		if c.hooks.OnStore != nil {
+			c.hooks.OnStore(c.id, addr, val, now)
+		}
+	} else if c.hooks.OnLoad != nil {
+		c.hooks.OnLoad(c.id, addr, readVal, now)
+	}
+}
+
+// stepLock drives the acquisition/release stepper one memory operation per
+// call.
+func (c *CPU) stepLock(now uint64, release bool, lockID int) {
+	if c.locks == nil {
+		panic(fmt.Sprintf("cpu %s: lock op with no lock manager", c.cfg.Name))
+	}
+	if c.lockStep == nil {
+		c.releasing = release
+		if release {
+			c.lockStep = c.locks.Release(c.id, lockID)
+		} else {
+			c.lockStep = c.locks.Acquire(c.id, lockID)
+		}
+		c.lockLast = 0
+		c.lockPending = nil
+	}
+	if c.lockPending == nil {
+		op, done := c.lockStep.Step(c.lockLast)
+		if done {
+			if c.releasing {
+				c.stats.LockReleases++
+				if c.locksHeld > 0 {
+					c.locksHeld--
+				}
+			} else {
+				c.stats.LockAcquires++
+				c.locksHeld++
+			}
+			c.lockStep = nil
+			c.retire()
+			return
+		}
+		c.lockPending = &op
+	}
+	op := *c.lockPending
+	c.stats.LockOps++
+	finish := func(v uint32) {
+		c.lockLast = v
+		c.lockPending = nil
+	}
+	switch op.Kind {
+	case lock.Spin:
+		c.delay = op.N
+		finish(0)
+	case lock.ReadUncached, lock.WriteUncached, lock.RMWUncached:
+		var kind bus.Kind
+		switch op.Kind {
+		case lock.ReadUncached:
+			kind = bus.ReadWord
+		case lock.WriteUncached:
+			kind = bus.WriteWord
+		default:
+			kind = bus.RMWWord
+		}
+		status := c.ctl.Uncached(kind, op.Addr, op.Val, func(v uint32) {
+			finish(v)
+			c.state = stateRun
+		})
+		if status == cache.Busy {
+			c.stats.BusyRetries++
+			c.stats.LockOps--
+			return
+		}
+		c.state = stateStalled
+	case lock.ReadCached, lock.WriteCached:
+		write := op.Kind == lock.WriteCached
+		status, v := c.ctl.Access(write, op.Addr, op.Val, func(rv uint32) {
+			finish(rv)
+			c.state = stateRun
+		})
+		switch status {
+		case cache.Done:
+			finish(v)
+		case cache.Pending:
+			c.state = stateStalled
+		case cache.Busy:
+			c.stats.BusyRetries++
+			c.stats.LockOps--
+		}
+	default:
+		panic(fmt.Sprintf("cpu %s: unknown lock op kind %d", c.cfg.Name, op.Kind))
+	}
+}

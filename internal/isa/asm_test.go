@@ -1,0 +1,191 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssembleBasic(t *testing.T) {
+	prog, err := Assemble(`
+		; a tiny task
+		lock 0
+		ld 0x10000000
+		st 0x10000004, 7   # store
+		clean 0x10000000
+		inval 0x10000020
+		waiteq 0x20000000, 1
+		delay 5
+		nop
+		unlock 0
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{LockAcquire, Read, Write, CleanLine, InvalLine, WaitEq, Delay, Nop, LockRelease, Halt}
+	if len(prog) != len(want) {
+		t.Fatalf("%d ops, want %d", len(prog), len(want))
+	}
+	for i, k := range want {
+		if prog[i].Kind != k {
+			t.Fatalf("op %d = %v, want %v", i, prog[i].Kind, k)
+		}
+	}
+	if prog[2].Addr != 0x10000004 || prog[2].Val != 7 {
+		t.Fatalf("store %+v", prog[2])
+	}
+	if prog[6].N != 5 {
+		t.Fatalf("delay %+v", prog[6])
+	}
+}
+
+func TestAssembleAppendsHalt(t *testing.T) {
+	prog, err := Assemble("nop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog[len(prog)-1].Kind != Halt {
+		t.Fatal("missing implicit halt")
+	}
+}
+
+func TestAssembleRepeatExpansion(t *testing.T) {
+	prog, err := Assemble(`
+		.repeat 3
+		  st 0x1000+@*4, @
+		.end
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 stores + halt.
+	if len(prog) != 4 {
+		t.Fatalf("%d ops", len(prog))
+	}
+	for i := 0; i < 3; i++ {
+		op := prog[i]
+		if op.Kind != Write || op.Addr != uint32(0x1000+4*i) || op.Val != uint32(i) {
+			t.Fatalf("iteration %d: %+v", i, op)
+		}
+	}
+}
+
+func TestAssembleNestedRepeat(t *testing.T) {
+	prog, err := Assemble(`
+		.repeat 2
+		  ld 0x100
+		  .repeat 2
+		    nop
+		  .end
+		.end
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (ld + 2 nops) x 2 + halt = 7.
+	if len(prog) != 7 {
+		t.Fatalf("%d ops: %v", len(prog), prog)
+	}
+}
+
+func TestAssembleRepeatZero(t *testing.T) {
+	prog, err := Assemble(`
+		.repeat 0
+		  st 0x100, 1
+		.end
+		nop
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Writes() != 0 || len(prog) != 2 {
+		t.Fatalf("zero repeat emitted ops: %v", prog)
+	}
+}
+
+func TestAssembleOperandArithmetic(t *testing.T) {
+	prog, err := Assemble(`
+		.repeat 2
+		  st 0x1000+@*32+4, 2*3+@
+		.end
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog[0].Addr != 0x1004 || prog[0].Val != 6 {
+		t.Fatalf("it 0: %+v", prog[0])
+	}
+	if prog[1].Addr != 0x1024 || prog[1].Val != 7 {
+		t.Fatalf("it 1: %+v", prog[1])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus 1",
+		"ld",
+		"st 0x100",
+		"delay x",
+		".repeat 2\nnop",             // missing .end
+		".end",                       // stray .end
+		"st @, 1",                    // @ outside repeat
+		".repeat\nnop\n.end",         // missing count
+		"ld 1+",                      // dangling operator
+		".repeat 9999999\nnop\n.end", // absurd count
+	}
+	for i, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("case %d assembled: %q", i, src)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	orig := NewBuilder().
+		Lock(0).
+		Read(0x10000000).
+		Write(0x10000004, 9).
+		WaitEq(0x20000000, 1).
+		Delay(3).
+		Clean(0x10000000).
+		Inval(0x10000020).
+		Unlock(0).
+		Halt()
+	text := Format(orig)
+	back, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("round trip: %v\n%s", err, text)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("length %d vs %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if back[i] != orig[i] {
+			t.Fatalf("op %d: %+v vs %+v", i, back[i], orig[i])
+		}
+	}
+}
+
+func TestAssembleWorkloadShapedProgram(t *testing.T) {
+	// A WCS-like critical-section loop written by hand.
+	src := `
+	.repeat 4
+	  lock 0
+	  .repeat 8
+	    ld 0x10000000+@*4
+	    st 0x10000000+@*4, @+1
+	  .end
+	  unlock 0
+	.end
+	`
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Reads() != 32 || prog.Writes() != 32 {
+		t.Fatalf("reads %d writes %d", prog.Reads(), prog.Writes())
+	}
+	if got := strings.Count(Format(prog), "lock 0"); got != 8 { // 4 lock + 4 unlock contain "lock 0"
+		t.Fatalf("lock statements %d", got)
+	}
+}

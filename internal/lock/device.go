@@ -1,0 +1,70 @@
+package lock
+
+import (
+	"fmt"
+
+	"hetcc/internal/bus"
+)
+
+// Register is the paper's second hardware-deadlock remedy: a 1-bit hardware
+// lock register sitting directly on the shared bus (the SoC Lock Cache of
+// paper ref. [17]).  Because the lock state lives in the device — never in
+// any cache — a lock access can never snoop-hit a processor's cache, so the
+// deadlock condition cannot arise.  The paper notes the hardware holds a
+// single 1-bit register, hence "the system can have only one lock"; the
+// simulator follows suit.
+type Register struct {
+	base uint32
+	bit  uint32
+
+	// Sets counts successful test-and-set acquisitions, Clears releases,
+	// Rejects failed test-and-sets.
+	Sets    uint64
+	Clears  uint64
+	Rejects uint64
+}
+
+var _ bus.Device = (*Register)(nil)
+
+// NewRegister places the lock register at byte address base.
+func NewRegister(base uint32) *Register {
+	return &Register{base: base}
+}
+
+// Base returns the register's bus address.
+func (r *Register) Base() uint32 { return r.base }
+
+// Value returns the current lock bit (tests).
+func (r *Register) Value() uint32 { return r.bit }
+
+// Contains implements bus.Device.
+func (r *Register) Contains(addr uint32) bool { return addr == r.base }
+
+// Access implements bus.Device: single-cycle test-and-set semantics.
+func (r *Register) Access(t *bus.Transaction) (int, bus.Result) {
+	switch t.Kind {
+	case bus.ReadWord:
+		return 1, bus.Result{Val: r.bit}
+	case bus.WriteWord:
+		if t.Val == 0 {
+			r.Clears++
+			r.bit = 0
+		} else {
+			r.bit = 1
+		}
+		return 1, bus.Result{}
+	case bus.RMWWord:
+		old := r.bit
+		if old == 0 && t.Val != 0 {
+			r.Sets++
+			r.bit = 1
+		} else if old != 0 && t.Val != 0 {
+			r.Rejects++
+		} else {
+			r.bit = t.Val & 1
+		}
+		return 1, bus.Result{Val: old}
+	default:
+		panic(fmt.Sprintf("lock: register does not support %v transactions", t.Kind))
+	}
+}

@@ -1,0 +1,62 @@
+package lock
+
+import (
+	"testing"
+
+	"hetcc/internal/bus"
+)
+
+func TestRegisterTestAndSet(t *testing.T) {
+	r := NewRegister(0x3000_0000)
+	if !r.Contains(0x3000_0000) || r.Contains(0x3000_0004) {
+		t.Fatal("address decode wrong")
+	}
+	lat, res := r.Access(&bus.Transaction{Kind: bus.RMWWord, Addr: r.Base(), Val: 1})
+	if lat != 1 || res.Val != 0 {
+		t.Fatalf("first TAS: lat=%d old=%d", lat, res.Val)
+	}
+	_, res = r.Access(&bus.Transaction{Kind: bus.RMWWord, Addr: r.Base(), Val: 1})
+	if res.Val != 1 {
+		t.Fatalf("second TAS old=%d, want 1 (rejected)", res.Val)
+	}
+	if r.Sets != 1 || r.Rejects != 1 {
+		t.Fatalf("counters sets=%d rejects=%d", r.Sets, r.Rejects)
+	}
+}
+
+func TestRegisterReleaseViaWrite(t *testing.T) {
+	r := NewRegister(0x3000_0000)
+	r.Access(&bus.Transaction{Kind: bus.RMWWord, Addr: r.Base(), Val: 1})
+	r.Access(&bus.Transaction{Kind: bus.WriteWord, Addr: r.Base(), Val: 0})
+	if r.Value() != 0 || r.Clears != 1 {
+		t.Fatalf("release failed: bit=%d clears=%d", r.Value(), r.Clears)
+	}
+	// Lock is free again.
+	_, res := r.Access(&bus.Transaction{Kind: bus.RMWWord, Addr: r.Base(), Val: 1})
+	if res.Val != 0 {
+		t.Fatal("re-acquire after release failed")
+	}
+}
+
+func TestRegisterRead(t *testing.T) {
+	r := NewRegister(0x3000_0000)
+	_, res := r.Access(&bus.Transaction{Kind: bus.ReadWord, Addr: r.Base()})
+	if res.Val != 0 {
+		t.Fatalf("fresh register reads %d", res.Val)
+	}
+	r.Access(&bus.Transaction{Kind: bus.WriteWord, Addr: r.Base(), Val: 1})
+	_, res = r.Access(&bus.Transaction{Kind: bus.ReadWord, Addr: r.Base()})
+	if res.Val != 1 {
+		t.Fatalf("held register reads %d", res.Val)
+	}
+}
+
+func TestRegisterRejectsLineTransactions(t *testing.T) {
+	r := NewRegister(0x3000_0000)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("line transaction accepted")
+		}
+	}()
+	r.Access(&bus.Transaction{Kind: bus.ReadLine, Addr: r.Base(), Words: 8})
+}

@@ -1,0 +1,108 @@
+package periph
+
+import "strings"
+
+// Timer register offsets.
+const (
+	// TimerCount (RO) is the free-running peripheral-clock counter.
+	TimerCount uint32 = 0x0
+	// TimerCtrl (RW): bit 0 enables counting, bit 1 resets the counter.
+	TimerCtrl uint32 = 0x4
+	// TimerCompare (RW) is read back as written (match logic is left to
+	// software in this model).
+	TimerCompare uint32 = 0x8
+)
+
+// Timer is a free-running counter peripheral.  The platform ticks it on
+// the peripheral clock.
+type Timer struct {
+	count   uint32
+	ctrl    uint32
+	compare uint32
+}
+
+// NewTimer returns a disabled timer.
+func NewTimer() *Timer { return &Timer{} }
+
+// Name implements Device.
+func (t *Timer) Name() string { return "timer" }
+
+// Size implements Device.
+func (t *Timer) Size() uint32 { return 12 }
+
+// Tick advances the counter when enabled (platform clock callback).
+func (t *Timer) Tick(uint64) {
+	if t.ctrl&1 != 0 {
+		t.count++
+	}
+}
+
+// ReadReg implements Device.
+func (t *Timer) ReadReg(off uint32) uint32 {
+	switch off {
+	case TimerCount:
+		return t.count
+	case TimerCtrl:
+		return t.ctrl
+	case TimerCompare:
+		return t.compare
+	default:
+		return 0
+	}
+}
+
+// WriteReg implements Device.
+func (t *Timer) WriteReg(off uint32, v uint32) {
+	switch off {
+	case TimerCtrl:
+		if v&2 != 0 {
+			t.count = 0
+		}
+		t.ctrl = v & 1
+	case TimerCompare:
+		t.compare = v
+	}
+}
+
+// Console register offsets.
+const (
+	// ConsoleData (WO): writing emits the low byte.
+	ConsoleData uint32 = 0x0
+	// ConsoleStatus (RO): always ready (bit 0).
+	ConsoleStatus uint32 = 0x4
+)
+
+// Console is a write-only character device that collects program output —
+// the SoC's debug UART.
+type Console struct {
+	sb     strings.Builder
+	Writes uint64
+}
+
+// NewConsole returns an empty console.
+func NewConsole() *Console { return &Console{} }
+
+// Name implements Device.
+func (c *Console) Name() string { return "console" }
+
+// Size implements Device.
+func (c *Console) Size() uint32 { return 8 }
+
+// ReadReg implements Device.
+func (c *Console) ReadReg(off uint32) uint32 {
+	if off == ConsoleStatus {
+		return 1 // always ready
+	}
+	return 0
+}
+
+// WriteReg implements Device.
+func (c *Console) WriteReg(off uint32, v uint32) {
+	if off == ConsoleData {
+		c.sb.WriteByte(byte(v))
+		c.Writes++
+	}
+}
+
+// Output returns everything written so far.
+func (c *Console) Output() string { return c.sb.String() }

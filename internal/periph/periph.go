@@ -1,0 +1,129 @@
+// Package periph models the low-speed peripheral side of the paper's SoC
+// bus architectures.  Section 3 notes that CoreConnect, CoreFrame and AMBA
+// share "a common characteristic ... they use two separate pipelined buses:
+// one for high speed devices and one for low speed devices".  This package
+// is the low-speed one (APB-like): a simple non-snooped register bus behind
+// a bridge that sits on the high-speed ASB as an ordinary slave.
+//
+// Peripherals are word-addressed register banks.  The bridge adds the
+// APB setup/access penalty to every transaction, so peripheral traffic is
+// visibly slower than memory — as on real silicon.
+package periph
+
+import (
+	"fmt"
+
+	"hetcc/internal/bus"
+)
+
+// Device is a peripheral register bank on the low-speed bus.
+type Device interface {
+	// Name labels the device in reports.
+	Name() string
+	// Size is the aperture size in bytes (word multiple).
+	Size() uint32
+	// ReadReg returns the register at byte offset off.
+	ReadReg(off uint32) uint32
+	// WriteReg stores v to the register at byte offset off.
+	WriteReg(off uint32, v uint32)
+}
+
+// Bridge connects the high-speed system bus to the peripheral bus: it
+// decodes a window of the address space and forwards single-word accesses,
+// charging the peripheral-bus penalty.
+type Bridge struct {
+	base    uint32
+	size    uint32
+	penalty int // extra bus cycles per peripheral access
+
+	devs []entry
+
+	// Accesses counts forwarded transactions.
+	Accesses uint64
+}
+
+type entry struct {
+	base uint32
+	dev  Device
+}
+
+var _ bus.Device = (*Bridge)(nil)
+
+// NewBridge creates a bridge decoding [base, base+size) with the given
+// per-access penalty in high-speed bus cycles (the APB setup + enable
+// phases seen through the clock-domain crossing).
+func NewBridge(base, size uint32, penalty int) *Bridge {
+	if penalty < 1 {
+		penalty = 1
+	}
+	return &Bridge{base: base, size: size, penalty: penalty}
+}
+
+// Attach maps dev at the given offset within the bridge window.
+func (b *Bridge) Attach(offset uint32, dev Device) error {
+	if offset%4 != 0 {
+		return fmt.Errorf("periph: unaligned device offset 0x%x", offset)
+	}
+	end := offset + dev.Size()
+	if end > b.size {
+		return fmt.Errorf("periph: device %s does not fit the bridge window", dev.Name())
+	}
+	for _, e := range b.devs {
+		if offset < e.base+e.dev.Size() && e.base < end {
+			return fmt.Errorf("periph: device %s overlaps %s", dev.Name(), e.dev.Name())
+		}
+	}
+	b.devs = append(b.devs, entry{base: offset, dev: dev})
+	return nil
+}
+
+// Contains implements bus.Device.
+func (b *Bridge) Contains(addr uint32) bool {
+	return addr >= b.base && addr < b.base+b.size
+}
+
+// Access implements bus.Device: forwards word transactions to the mapped
+// peripheral.  Unmapped addresses read zero and drop writes (as a silent
+// bus would), still paying the penalty.
+func (b *Bridge) Access(t *bus.Transaction) (int, bus.Result) {
+	b.Accesses++
+	off := t.Addr - b.base
+	var dev Device
+	var devOff uint32
+	for _, e := range b.devs {
+		if off >= e.base && off < e.base+e.dev.Size() {
+			dev = e.dev
+			devOff = off - e.base
+			break
+		}
+	}
+	res := bus.Result{}
+	switch t.Kind {
+	case bus.ReadWord:
+		if dev != nil {
+			res.Val = dev.ReadReg(devOff)
+		}
+	case bus.WriteWord:
+		if dev != nil {
+			dev.WriteReg(devOff, t.Val)
+		}
+	case bus.RMWWord:
+		if dev != nil {
+			res.Val = dev.ReadReg(devOff)
+			dev.WriteReg(devOff, t.Val)
+		}
+	default:
+		// Line transactions have no business on the register bus; real
+		// bridges error them.  Model as a dropped access.
+	}
+	return b.penalty, res
+}
+
+// Devices lists the attached peripherals (reports, tests).
+func (b *Bridge) Devices() []Device {
+	out := make([]Device, len(b.devs))
+	for i, e := range b.devs {
+		out[i] = e.dev
+	}
+	return out
+}

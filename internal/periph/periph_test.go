@@ -1,0 +1,136 @@
+package periph
+
+import (
+	"testing"
+
+	"hetcc/internal/bus"
+)
+
+const window uint32 = 0x4000_0000
+
+func newBridge(t *testing.T) (*Bridge, *Timer, *Console) {
+	t.Helper()
+	b := NewBridge(window, 0x1000, 4)
+	tm := NewTimer()
+	con := NewConsole()
+	if err := b.Attach(0x000, tm); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Attach(0x100, con); err != nil {
+		t.Fatal(err)
+	}
+	return b, tm, con
+}
+
+func rd(b *Bridge, addr uint32) uint32 {
+	_, res := b.Access(&bus.Transaction{Kind: bus.ReadWord, Addr: addr})
+	return res.Val
+}
+
+func wr(b *Bridge, addr, val uint32) {
+	b.Access(&bus.Transaction{Kind: bus.WriteWord, Addr: addr, Val: val})
+}
+
+func TestBridgeDecode(t *testing.T) {
+	b, _, _ := newBridge(t)
+	if !b.Contains(window) || !b.Contains(window+0xffc) || b.Contains(window+0x1000) || b.Contains(window-4) {
+		t.Fatal("window decode wrong")
+	}
+	if len(b.Devices()) != 2 {
+		t.Fatal("device list")
+	}
+}
+
+func TestBridgePenalty(t *testing.T) {
+	b, _, _ := newBridge(t)
+	lat, _ := b.Access(&bus.Transaction{Kind: bus.ReadWord, Addr: window})
+	if lat != 4 {
+		t.Fatalf("latency %d, want 4", lat)
+	}
+	if NewBridge(0, 16, 0).penalty != 1 {
+		t.Fatal("penalty floor")
+	}
+}
+
+func TestAttachValidation(t *testing.T) {
+	b := NewBridge(window, 0x20, 2)
+	if err := b.Attach(2, NewTimer()); err == nil {
+		t.Error("unaligned attach accepted")
+	}
+	if err := b.Attach(0x18, NewTimer()); err == nil {
+		t.Error("overflowing attach accepted")
+	}
+	if err := b.Attach(0, NewTimer()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Attach(8, NewConsole()); err == nil {
+		t.Error("overlapping attach accepted")
+	}
+}
+
+func TestTimerCountsWhenEnabled(t *testing.T) {
+	b, tm, _ := newBridge(t)
+	for i := 0; i < 5; i++ {
+		tm.Tick(uint64(i))
+	}
+	if got := rd(b, window+TimerCount); got != 0 {
+		t.Fatalf("disabled timer counted to %d", got)
+	}
+	wr(b, window+TimerCtrl, 1)
+	for i := 0; i < 7; i++ {
+		tm.Tick(uint64(i))
+	}
+	if got := rd(b, window+TimerCount); got != 7 {
+		t.Fatalf("count %d, want 7", got)
+	}
+	// Reset bit clears, enable persists only from bit 0.
+	wr(b, window+TimerCtrl, 3)
+	if got := rd(b, window+TimerCount); got != 0 {
+		t.Fatalf("reset failed: %d", got)
+	}
+	wr(b, window+TimerCompare, 99)
+	if got := rd(b, window+TimerCompare); got != 99 {
+		t.Fatal("compare readback")
+	}
+}
+
+func TestConsoleCollectsOutput(t *testing.T) {
+	b, _, con := newBridge(t)
+	for _, ch := range "ok\n" {
+		wr(b, window+0x100+ConsoleData, uint32(ch))
+	}
+	if con.Output() != "ok\n" {
+		t.Fatalf("output %q", con.Output())
+	}
+	if rd(b, window+0x100+ConsoleStatus) != 1 {
+		t.Fatal("console not ready")
+	}
+	if con.Writes != 3 {
+		t.Fatalf("writes %d", con.Writes)
+	}
+}
+
+func TestUnmappedAccessIsBenign(t *testing.T) {
+	b, _, _ := newBridge(t)
+	if got := rd(b, window+0x800); got != 0 {
+		t.Fatalf("unmapped read %d", got)
+	}
+	wr(b, window+0x800, 5) // must not panic
+	// Line transaction: dropped, still charged.
+	lat, _ := b.Access(&bus.Transaction{Kind: bus.ReadLine, Addr: window, Words: 8})
+	if lat != 4 {
+		t.Fatal("line transaction latency")
+	}
+}
+
+func TestRMWOnPeripheral(t *testing.T) {
+	b, _, _ := newBridge(t)
+	wr(b, window+TimerCompare, 7)
+	_, res := b.Access(&bus.Transaction{Kind: bus.RMWWord, Addr: window + TimerCompare, Val: 9})
+	if res.Val != 7 {
+		t.Fatalf("rmw old %d, want 7", res.Val)
+	}
+	if got := rd(b, window+TimerCompare); got != 9 {
+		t.Fatalf("rmw new %d, want 9", got)
+	}
+}

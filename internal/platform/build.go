@@ -1,0 +1,310 @@
+package platform
+
+import (
+	"fmt"
+
+	"hetcc/internal/bus"
+	"hetcc/internal/cache"
+	"hetcc/internal/coherence"
+	"hetcc/internal/core"
+	"hetcc/internal/cpu"
+	"hetcc/internal/dma"
+	"hetcc/internal/isa"
+	"hetcc/internal/lock"
+	"hetcc/internal/memory"
+	"hetcc/internal/periph"
+	"hetcc/internal/sim"
+	"hetcc/internal/snooplogic"
+	"hetcc/internal/trace"
+	"hetcc/internal/wrapper"
+)
+
+// unwiredShared models the un-integrated heterogeneous bus of the paper's
+// Tables 2 and 3: snooping works (transactions are visible) but the
+// incompatible shared-signal conventions mean no master ever samples an
+// asserted shared signal, and interventions are impossible.
+type unwiredShared struct{}
+
+func (unwiredShared) ConvertSnoop(op coherence.BusOp) coherence.BusOp { return op }
+func (unwiredShared) OverrideShared(bool) bool                        { return false }
+func (unwiredShared) AllowSupply() bool                               { return false }
+
+// Platform is a fully wired system ready to load programs and run.
+type Platform struct {
+	Config      Config
+	Engine      *sim.Engine
+	Bus         *bus.Bus
+	Memory      *memory.Memory
+	CPUs        []*cpu.CPU
+	Controllers []*cache.Controller
+	Wrappers    []*wrapper.Wrapper       // nil entries where no wrapper is installed
+	SnoopLogics []*snooplogic.SnoopLogic // nil entries for coherent processors
+	Integration core.Integration
+	Locks       *lock.Manager
+	LockReg     *lock.Register // non-nil when the hardware lock register is in use
+	Periph      *periph.Bridge
+	Timer       *periph.Timer
+	Console     *periph.Console
+	DMA         *dma.Engine // non-nil when Config.DMA is set
+	Log         *trace.Log
+
+	checker *checker
+	vcd     *vcdProbe
+	halted  int
+}
+
+// Build validates cfg and wires the system.
+func Build(cfg Config) (*Platform, error) {
+	if len(cfg.Processors) == 0 {
+		return nil, fmt.Errorf("platform: no processors")
+	}
+	if cfg.BusClockDiv == 0 {
+		cfg.BusClockDiv = 2
+	}
+	if cfg.Timing == (memory.Timing{}) {
+		cfg.Timing = memory.DefaultTiming()
+	}
+	lineBytes := cfg.Processors[0].Cache.LineBytes
+	for i, spec := range cfg.Processors {
+		if err := spec.Cache.Validate(); err != nil {
+			return nil, fmt.Errorf("platform: processor %d: %w", i, err)
+		}
+		if spec.Cache.LineBytes != lineBytes {
+			return nil, fmt.Errorf("platform: heterogeneous line sizes (%d vs %d) are not supported by the shared-bus snoop model", spec.Cache.LineBytes, lineBytes)
+		}
+	}
+
+	var log *trace.Log
+	if cfg.TraceCap > 0 {
+		log = trace.NewLog(cfg.TraceCap)
+	}
+
+	protocols := make([]coherence.Kind, len(cfg.Processors))
+	for i, s := range cfg.Processors {
+		protocols[i] = s.Protocol
+	}
+	integ, err := core.Reduce(protocols)
+	if err != nil {
+		return nil, fmt.Errorf("platform: %w", err)
+	}
+
+	engine := sim.NewEngine()
+	mem := memory.New()
+	b := bus.New(bus.Config{Timing: cfg.Timing, DeadlockThreshold: cfg.DeadlockThreshold, Pipelined: cfg.PipelinedBus}, mem, log)
+
+	p := &Platform{
+		Config:      cfg,
+		Engine:      engine,
+		Bus:         b,
+		Memory:      mem,
+		Integration: integ,
+		Log:         log,
+	}
+
+	// Lock subsystem: each lock id gets its own 256-byte block of the
+	// uncached lock area (or a slot of the cached demo region).
+	count := cfg.Lock.Count
+	if count <= 0 {
+		count = 1
+	}
+	lockCfg := lock.Config{
+		Tasks:     len(cfg.Processors),
+		Alternate: cfg.Lock.Alternate,
+		SpinDelay: cfg.Lock.SpinDelay,
+	}
+	if cfg.Lock.Kind == LockHardwareRegister && count > 1 {
+		return nil, fmt.Errorf("platform: the hardware lock register supports only one lock (the paper's 1-bit register), got %d", count)
+	}
+	for id := 0; id < count; id++ {
+		base := LockBase + uint32(id)*0x100
+		layout := lock.Layout{TurnWord: base + 4}
+		switch cfg.Lock.Kind {
+		case LockUncachedTAS:
+			lockCfg.Kind = lock.UncachedTAS
+			layout.LockWord = base
+		case LockHardwareRegister:
+			lockCfg.Kind = lock.HardwareRegister
+			layout.LockWord = LockRegisterAddr
+			p.LockReg = lock.NewRegister(LockRegisterAddr)
+			b.AddDevice(p.LockReg)
+		case LockBakery:
+			lockCfg.Kind = lock.Bakery
+			for i := range cfg.Processors {
+				layout.Choosing = append(layout.Choosing, base+0x40+uint32(4*i))
+				layout.Number = append(layout.Number, base+0x80+uint32(4*i))
+			}
+		case LockCachedTAS:
+			lockCfg.Kind = lock.CachedTAS
+			layout.LockWord = CachedLockAddr + uint32(id)*0x40
+		case LockPeterson:
+			lockCfg.Kind = lock.Peterson
+			layout.Choosing = []uint32{base + 0x40, base + 0x44}
+			layout.Number = []uint32{base + 0x48}
+		default:
+			return nil, fmt.Errorf("platform: unknown lock kind %v", cfg.Lock.Kind)
+		}
+		lockCfg.Layouts = append(lockCfg.Layouts, layout)
+	}
+	p.Locks, err = lock.NewManager(lockCfg)
+	if err != nil {
+		return nil, fmt.Errorf("platform: %w", err)
+	}
+
+	// Region attributes: private regions are always cacheable; the shared
+	// region only when the strategy caches shared data; lock variables and
+	// the device aperture are never cacheable.
+	sharedCacheable := cfg.Solution != CacheDisabled
+	attr := func(addr uint32) cpu.Attr {
+		switch {
+		case InShared(addr):
+			return cpu.Attr{Cacheable: sharedCacheable}
+		case InPrivate(addr):
+			return cpu.Attr{Cacheable: true}
+		default:
+			return cpu.Attr{Cacheable: false}
+		}
+	}
+
+	// Hardware snooping (cache snoop ports + snoop logic) exists only in
+	// the proposed solution; the software and cache-disabled baselines run
+	// without any coherence hardware, as in the paper's evaluation.
+	hwCoherence := cfg.Solution == Proposed
+
+	if cfg.Verify {
+		p.checker = newChecker()
+		if cfg.RaceCheck {
+			p.checker.lockDepth = func(core int) int { return p.CPUs[core].LocksHeld() }
+		}
+	}
+
+	for i, spec := range cfg.Processors {
+		proto := spec.Protocol
+		if proto == coherence.None {
+			// A coherence-less core still has a cache; it behaves as a
+			// private MEI cache (allocate exclusive, dirty on write).
+			proto = coherence.MEI
+		}
+		arr, err := cache.New(spec.Cache, coherence.New(proto))
+		if err != nil {
+			return nil, fmt.Errorf("platform: processor %d: %w", i, err)
+		}
+		var policy cache.Policy = cache.Passthrough{}
+		var w *wrapper.Wrapper
+		if hwCoherence && spec.Protocol != coherence.None {
+			if cfg.DisableWrappers {
+				// Tables 2/3 demo mode: processors observe each other's
+				// transactions but their shared-signal conventions are not
+				// wired together, so a master always samples deasserted
+				// ("Processor 1 cannot assert the shared signal").
+				policy = unwiredShared{}
+			} else {
+				w = wrapper.New(spec.Model, integ.Policies[i])
+				policy = w
+			}
+		}
+		snoops := hwCoherence && spec.Protocol != coherence.None
+		ctl := cache.NewController(spec.Model, arr, b, policy, snoops, log)
+		if hwCoherence && spec.WrapperLatency > 0 {
+			b.SetMasterLatency(ctl.MasterID(), spec.WrapperLatency)
+		}
+		if spec.WriteThroughShared {
+			if !coherence.New(proto).Has(coherence.Shared) {
+				return nil, fmt.Errorf("platform: processor %d (%s): write-through lines need a protocol with an S state, got %v", i, spec.Model, proto)
+			}
+			ctl.SetWriteThrough(InShared)
+		}
+
+		var sl *snooplogic.SnoopLogic
+		if hwCoherence && spec.Protocol == coherence.None {
+			sl = snooplogic.New(spec.Model+"-snoop", b, ctl.MasterID(), spec.Cache.LineBytes, nil, log)
+			// The hardware TAG CAM is sized to the shadowed cache, one
+			// entry per line; stale entries beyond that are flushed
+			// through the ISR.
+			sl.SetCapacity(spec.Cache.SizeBytes / spec.Cache.LineBytes)
+		}
+
+		c := cpu.New(cpu.Config{
+			Name:              spec.Model,
+			ClockDiv:          spec.ClockDiv,
+			InterruptResponse: spec.InterruptResponse,
+			ISREntry:          spec.ISREntry,
+			ISRExit:           spec.ISRExit,
+			CacheOpOverhead:   spec.CacheOpOverhead,
+			AccessOverhead:    spec.AccessOverhead,
+		}, i, ctl, attr, p.Locks, sl)
+		if sl != nil {
+			sl.SetFIQRaiser(c)
+		}
+		if p.checker != nil {
+			c.SetHooks(cpu.Hooks{OnLoad: p.checker.onLoad, OnStore: p.checker.onStore})
+		}
+		c.OnHalt(func(int) {
+			p.halted++
+			if p.halted == len(p.CPUs) {
+				engine.Stop("all programs retired", nil)
+			}
+		})
+
+		p.CPUs = append(p.CPUs, c)
+		p.Controllers = append(p.Controllers, ctl)
+		p.Wrappers = append(p.Wrappers, w)
+		p.SnoopLogics = append(p.SnoopLogics, sl)
+	}
+
+	// Low-speed peripheral bus behind a bridge, with the standard timer
+	// and debug console.
+	p.Periph = periph.NewBridge(PeriphBase, PeriphSize, 4)
+	p.Timer = periph.NewTimer()
+	p.Console = periph.NewConsole()
+	if err := p.Periph.Attach(TimerBase-PeriphBase, p.Timer); err != nil {
+		return nil, fmt.Errorf("platform: %w", err)
+	}
+	if err := p.Periph.Attach(ConsoleBase-PeriphBase, p.Console); err != nil {
+		return nil, fmt.Errorf("platform: %w", err)
+	}
+	b.AddDevice(p.Periph)
+
+	if cfg.DMA {
+		p.DMA = dma.New(DMABase, lineBytes, b)
+		b.AddDevice(p.DMA)
+	}
+
+	b.OnDeadlock(func() {
+		engine.Stop("hardware deadlock", bus.ErrHardwareDeadlock)
+	})
+
+	// Tick order: cores in platform order, then the bus, then the optional
+	// waveform probe.  The order is fixed so runs are reproducible.
+	for i, c := range p.CPUs {
+		engine.Register(fmt.Sprintf("cpu%d:%s", i, c.Name()), cfg.Processors[i].ClockDiv, c)
+	}
+	engine.Register("bus", cfg.BusClockDiv, sim.TickFunc(b.Tick))
+	// The peripheral clock runs at half the bus clock.
+	engine.Register("timer", cfg.BusClockDiv*2, sim.TickFunc(p.Timer.Tick))
+	if p.DMA != nil {
+		engine.Register("dma", cfg.BusClockDiv, p.DMA)
+	}
+	if cfg.VCD != nil {
+		probe, err := newVCDProbe(p, cfg.VCD)
+		if err != nil {
+			return nil, fmt.Errorf("platform: vcd: %w", err)
+		}
+		p.vcd = probe
+		engine.Register("vcd", 1, probe)
+	}
+
+	return p, nil
+}
+
+// LoadPrograms installs one program per core.
+func (p *Platform) LoadPrograms(progs []isa.Program) error {
+	if len(progs) != len(p.CPUs) {
+		return fmt.Errorf("platform: %d programs for %d cores", len(progs), len(p.CPUs))
+	}
+	for i, prog := range progs {
+		if err := p.CPUs[i].LoadProgram(prog); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"hetcc/internal/bus"
+	"hetcc/internal/cache"
+	"hetcc/internal/cpu"
+	"hetcc/internal/sim"
+	"hetcc/internal/snooplogic"
+)
+
+// Violation records a golden-model coherence defect: a load from the shared
+// region returned something other than the globally last-stored value.
+type Violation struct {
+	Core  int
+	Addr  uint32
+	Got   uint32
+	Want  uint32
+	Cycle uint64
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("cycle %d: core %d read 0x%08x = %d, want %d (stale)", v.Cycle, v.Core, v.Addr, v.Got, v.Want)
+}
+
+// checker is the golden model: because every shared-region access in the
+// workloads happens inside a critical section, the globally last write to
+// each word is well-defined and every read must return it.  It also checks
+// the lock discipline itself: a shared-region access by a core holding no
+// lock is a data race under the paper's programming model.
+type checker struct {
+	expected   map[uint32]uint32
+	violations []Violation
+	races      []Race
+	limit      int
+	lockDepth  func(core int) int
+}
+
+// Race records a shared-region access performed outside any critical
+// section.
+type Race struct {
+	Core  int
+	Addr  uint32
+	Write bool
+	Cycle uint64
+}
+
+// String renders the race.
+func (r Race) String() string {
+	op := "read"
+	if r.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("cycle %d: core %d %s of shared 0x%08x outside any critical section", r.Cycle, r.Core, op, r.Addr)
+}
+
+func newChecker() *checker {
+	return &checker{expected: make(map[uint32]uint32), limit: 64}
+}
+
+func (k *checker) noteRace(core int, addr uint32, write bool, now uint64) {
+	if k.lockDepth != nil && k.lockDepth(core) == 0 && len(k.races) < k.limit {
+		k.races = append(k.races, Race{Core: core, Addr: addr, Write: write, Cycle: now})
+	}
+}
+
+func (k *checker) onStore(core int, addr, val uint32, now uint64) {
+	if InShared(addr) {
+		k.noteRace(core, addr, true, now)
+		k.expected[addr] = val
+	}
+}
+
+func (k *checker) onLoad(core int, addr, val uint32, now uint64) {
+	if !InShared(addr) {
+		return
+	}
+	k.noteRace(core, addr, false, now)
+	if want := k.expected[addr]; want != val && len(k.violations) < k.limit {
+		k.violations = append(k.violations, Violation{Core: core, Addr: addr, Got: val, Want: want, Cycle: now})
+	}
+}
+
+// Result summarises one simulation run.
+type Result struct {
+	// Cycles is the engine cycle count at termination (100 MHz cycles in
+	// the default clocking).
+	Cycles uint64
+	// Err is nil on normal completion; bus.ErrHardwareDeadlock when the
+	// livelock detector fired; sim.ErrMaxCycles when the budget ran out.
+	Err error
+	// StopReason is the engine's recorded reason.
+	StopReason string
+
+	Bus         bus.Stats
+	CPU         []cpu.Stats
+	Cache       []cache.Stats
+	Snoop       []snooplogic.Stats
+	WrapperConv []uint64
+	Violations  []Violation
+	// Races lists shared accesses performed outside critical sections
+	// (reported only when RaceCheck was enabled).
+	Races []Race
+}
+
+// Deadlocked reports whether the run ended in the paper's hardware
+// deadlock.
+func (r Result) Deadlocked() bool { return errors.Is(r.Err, bus.ErrHardwareDeadlock) }
+
+// Coherent reports whether the golden-model checker saw no stale reads.
+func (r Result) Coherent() bool { return len(r.Violations) == 0 }
+
+// Run simulates until all programs retire, a deadlock is detected, or
+// maxCycles engine cycles elapse.
+func (p *Platform) Run(maxCycles uint64) Result {
+	err := p.Engine.Run(maxCycles)
+	res := Result{
+		Cycles:     p.Engine.Now(),
+		Err:        err,
+		StopReason: p.Engine.StopReason(),
+		Bus:        p.Bus.Stats(),
+	}
+	for i, c := range p.CPUs {
+		res.CPU = append(res.CPU, c.Stats())
+		res.Cache = append(res.Cache, p.Controllers[i].Cache().Stats())
+		if sl := p.SnoopLogics[i]; sl != nil {
+			res.Snoop = append(res.Snoop, sl.Stats())
+		} else {
+			res.Snoop = append(res.Snoop, snooplogic.Stats{})
+		}
+		if w := p.Wrappers[i]; w != nil {
+			res.WrapperConv = append(res.WrapperConv, w.Conversions)
+		} else {
+			res.WrapperConv = append(res.WrapperConv, 0)
+		}
+	}
+	if p.checker != nil {
+		res.Violations = p.checker.violations
+		res.Races = p.checker.races
+	}
+	if err != nil && errors.Is(err, sim.ErrMaxCycles) && p.Bus.Deadlocked() {
+		res.Err = bus.ErrHardwareDeadlock
+	}
+	if p.vcd != nil {
+		_ = p.vcd.w.Close(p.Engine.Now())
+	}
+	return res
+}
+
+// GoldenExpected returns a copy of the golden model's expected value per
+// shared word (nil when Verify was off).  Tests use it to cross-check the
+// final system state.
+func (p *Platform) GoldenExpected() map[uint32]uint32 {
+	if p.checker == nil {
+		return nil
+	}
+	out := make(map[uint32]uint32, len(p.checker.expected))
+	for k, v := range p.checker.expected {
+		out[k] = v
+	}
+	return out
+}
+
+// SharedLinesResident returns, per core, the shared-region lines currently
+// resident in its data cache (test helper for the TAG CAM mirror and
+// single-owner properties).
+func (p *Platform) SharedLinesResident(core int) []uint32 {
+	var out []uint32
+	for _, base := range p.Controllers[core].Cache().ResidentLines() {
+		if InShared(base) {
+			out = append(out, base)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,119 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"hetcc/internal/cache"
+	"hetcc/internal/coherence"
+)
+
+// specJSON is the on-disk description of one processor for
+// SpecsFromJSON.  Zero fields take the defaults noted per field.
+type specJSON struct {
+	Model    string `json:"model"`
+	Protocol string `json:"protocol"` // MEI, MSI, MESI, MOESI, Dragon, none
+	ClockDiv uint64 `json:"clockDiv"` // default 1 (100 MHz)
+	CacheKB  int    `json:"cacheKB"`  // default 16
+	Ways     int    `json:"ways"`     // default 4
+	// LineBytes defaults to 32 and must match across processors.
+	LineBytes          int  `json:"lineBytes"`
+	InterruptResponse  int  `json:"interruptResponse"` // None-protocol cores
+	ISREntry           int  `json:"isrEntry"`
+	ISRExit            int  `json:"isrExit"`
+	CacheOpOverhead    int  `json:"cacheOpOverhead"` // default 12
+	AccessOverhead     int  `json:"accessOverhead"`  // default 3
+	WriteThroughShared bool `json:"writeThroughShared"`
+}
+
+type platformJSON struct {
+	Processors []specJSON `json:"processors"`
+}
+
+// ParseProtocol maps a protocol name to its coherence.Kind ("none" marks a
+// coherence-less processor).
+func ParseProtocol(name string) (coherence.Kind, error) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "MEI":
+		return coherence.MEI, nil
+	case "MSI":
+		return coherence.MSI, nil
+	case "MESI":
+		return coherence.MESI, nil
+	case "MOESI":
+		return coherence.MOESI, nil
+	case "DRAGON":
+		return coherence.Dragon, nil
+	case "NONE", "":
+		return coherence.None, nil
+	default:
+		return 0, fmt.Errorf("platform: unknown protocol %q", name)
+	}
+}
+
+// SpecsFromJSON reads a platform definition like
+//
+//	{"processors": [
+//	  {"model": "PowerPC755", "protocol": "MEI", "clockDiv": 1, "cacheKB": 32, "ways": 8},
+//	  {"model": "ARM920T", "protocol": "none", "clockDiv": 2, "interruptResponse": 4, "isrEntry": 4, "isrExit": 4}
+//	]}
+//
+// applying the documented defaults to omitted fields.
+func SpecsFromJSON(r io.Reader) ([]ProcessorSpec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var cfg platformJSON
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("platform: parsing config: %w", err)
+	}
+	if len(cfg.Processors) == 0 {
+		return nil, fmt.Errorf("platform: config defines no processors")
+	}
+	var specs []ProcessorSpec
+	for i, sj := range cfg.Processors {
+		kind, err := ParseProtocol(sj.Protocol)
+		if err != nil {
+			return nil, fmt.Errorf("platform: processor %d: %w", i, err)
+		}
+		spec := ProcessorSpec{
+			Model:              sj.Model,
+			Protocol:           kind,
+			ClockDiv:           sj.ClockDiv,
+			InterruptResponse:  sj.InterruptResponse,
+			ISREntry:           sj.ISREntry,
+			ISRExit:            sj.ISRExit,
+			CacheOpOverhead:    sj.CacheOpOverhead,
+			AccessOverhead:     sj.AccessOverhead,
+			WriteThroughShared: sj.WriteThroughShared,
+		}
+		if spec.Model == "" {
+			spec.Model = fmt.Sprintf("P%d-%v", i, kind)
+		}
+		if spec.ClockDiv == 0 {
+			spec.ClockDiv = 1
+		}
+		if sj.CacheKB == 0 {
+			sj.CacheKB = 16
+		}
+		if sj.Ways == 0 {
+			sj.Ways = 4
+		}
+		if sj.LineBytes == 0 {
+			sj.LineBytes = 32
+		}
+		if spec.CacheOpOverhead == 0 {
+			spec.CacheOpOverhead = 12
+		}
+		if spec.AccessOverhead == 0 {
+			spec.AccessOverhead = 3
+		}
+		spec.Cache = cache.Config{SizeBytes: sj.CacheKB * 1024, Ways: sj.Ways, LineBytes: sj.LineBytes}
+		if err := spec.Cache.Validate(); err != nil {
+			return nil, fmt.Errorf("platform: processor %d (%s): %w", i, spec.Model, err)
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}

@@ -1,0 +1,90 @@
+package platform_test
+
+import (
+	"strings"
+	"testing"
+
+	"hetcc/internal/coherence"
+	. "hetcc/internal/platform"
+	"hetcc/internal/workload"
+)
+
+const sampleJSON = `{
+  "processors": [
+    {"model": "PowerPC755", "protocol": "MEI", "clockDiv": 1, "cacheKB": 32, "ways": 8},
+    {"model": "ARM920T", "protocol": "none", "clockDiv": 2, "interruptResponse": 4, "isrEntry": 4, "isrExit": 4}
+  ]
+}`
+
+func TestSpecsFromJSON(t *testing.T) {
+	specs, err := SpecsFromJSON(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("%d specs", len(specs))
+	}
+	if specs[0].Protocol != coherence.MEI || specs[0].Cache.SizeBytes != 32*1024 || specs[0].Cache.Ways != 8 {
+		t.Fatalf("spec0 %+v", specs[0])
+	}
+	if specs[1].Protocol != coherence.None || specs[1].InterruptResponse != 4 {
+		t.Fatalf("spec1 %+v", specs[1])
+	}
+	// Defaults applied.
+	if specs[0].AccessOverhead != 3 || specs[0].CacheOpOverhead != 12 || specs[0].Cache.LineBytes != 32 {
+		t.Fatalf("defaults not applied: %+v", specs[0])
+	}
+}
+
+func TestSpecsFromJSONRunsEndToEnd(t *testing.T) {
+	specs, err := SpecsFromJSON(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(Config{
+		Processors: specs,
+		Solution:   Proposed,
+		Lock:       LockChoice{Kind: LockUncachedTAS, Alternate: true, SpinDelay: 4},
+		Verify:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs, _ := workload.Programs(workload.WCS, workload.Params{Lines: 2, ExecTime: 1, Iterations: 2}, Proposed, 2)
+	p.LoadPrograms(progs)
+	res := p.Run(5_000_000)
+	if res.Err != nil || !res.Coherent() {
+		t.Fatalf("err=%v violations=%v", res.Err, res.Violations)
+	}
+}
+
+func TestSpecsFromJSONValidation(t *testing.T) {
+	cases := []string{
+		`{}`,
+		`{"processors": []}`,
+		`{"processors": [{"protocol": "WAT"}]}`,
+		`{"processors": [{"protocol": "MESI", "cacheKB": 3}]}`, // bad geometry (3KB/4way/32B -> 24 sets, not pow2)
+		`{"processors": [{"protocol": "MESI", "bogusField": 1}]}`,
+		`not json`,
+	}
+	for i, in := range cases {
+		if _, err := SpecsFromJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted: %s", i, in)
+		}
+	}
+}
+
+func TestParseProtocol(t *testing.T) {
+	for name, want := range map[string]coherence.Kind{
+		"MEI": coherence.MEI, "msi": coherence.MSI, " mesi ": coherence.MESI,
+		"MOESI": coherence.MOESI, "dragon": coherence.Dragon, "none": coherence.None, "": coherence.None,
+	} {
+		got, err := ParseProtocol(name)
+		if err != nil || got != want {
+			t.Errorf("ParseProtocol(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseProtocol("MERSI"); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}

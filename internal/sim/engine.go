@@ -1,0 +1,113 @@
+// Package sim provides the deterministic cycle-level simulation kernel used
+// by every other hetcc subsystem.
+//
+// The engine advances a single global cycle counter at the frequency of the
+// fastest clock in the system (the 100 MHz CPU clock in the paper's
+// configuration).  Components that run on slower clocks register with a
+// clock divisor: a component with divisor 2 is ticked on every second engine
+// cycle, which models the 50 MHz AMBA ASB bus and the 50 MHz ARM920T core of
+// the paper's Table 4.
+//
+// Determinism is a hard requirement (DESIGN.md invariant 7): components are
+// ticked in registration order, and all randomness flows through the seeded
+// SplitMix64 generator in rng.go.
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Ticker is the interface implemented by every simulated hardware block.
+// Tick is invoked once per local clock edge with the current global cycle.
+type Ticker interface {
+	Tick(now uint64)
+}
+
+// TickFunc adapts an ordinary function to the Ticker interface.
+type TickFunc func(now uint64)
+
+// Tick implements Ticker.
+func (f TickFunc) Tick(now uint64) { f(now) }
+
+// ErrMaxCycles is returned by Run when the cycle budget is exhausted before
+// any component requested a stop.  It usually indicates a livelock such as
+// the paper's hardware-deadlock scenario.
+var ErrMaxCycles = errors.New("sim: maximum cycle budget exhausted")
+
+type registration struct {
+	name string
+	div  uint64
+	t    Ticker
+}
+
+// Engine is the simulation kernel.  The zero value is not usable; create
+// engines with NewEngine.
+type Engine struct {
+	now     uint64
+	regs    []registration
+	stopped bool
+	stopErr error
+	reason  string
+}
+
+// NewEngine returns an engine at cycle zero with no registered components.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Register adds a component ticked every div engine cycles (div >= 1).
+// Components are ticked in registration order, which fixes the intra-cycle
+// evaluation order and keeps runs reproducible.
+func (e *Engine) Register(name string, div uint64, t Ticker) {
+	if div == 0 {
+		panic("sim: clock divisor must be >= 1")
+	}
+	if t == nil {
+		panic("sim: nil ticker")
+	}
+	e.regs = append(e.regs, registration{name: name, div: div, t: t})
+}
+
+// Now reports the current global cycle.
+func (e *Engine) Now() uint64 { return e.now }
+
+// Stop requests that the run loop terminate at the end of the current cycle.
+// A nil err marks a normal completion (for example, all programs retired).
+func (e *Engine) Stop(reason string, err error) {
+	e.stopped = true
+	e.stopErr = err
+	e.reason = reason
+}
+
+// Stopped reports whether a stop has been requested.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// StopReason returns the reason string passed to Stop, or "" if running.
+func (e *Engine) StopReason() string { return e.reason }
+
+// Step advances the simulation by one engine cycle, ticking every component
+// whose divisor divides the current cycle number.
+func (e *Engine) Step() {
+	for _, r := range e.regs {
+		if e.now%r.div == 0 {
+			r.t.Tick(e.now)
+		}
+	}
+	e.now++
+}
+
+// Run steps the engine until Stop is called or maxCycles elapse.  It returns
+// the error passed to Stop, or ErrMaxCycles on budget exhaustion.
+func (e *Engine) Run(maxCycles uint64) error {
+	for e.now < maxCycles {
+		if e.stopped {
+			return e.stopErr
+		}
+		e.Step()
+	}
+	if e.stopped {
+		return e.stopErr
+	}
+	return fmt.Errorf("%w (after %d cycles)", ErrMaxCycles, maxCycles)
+}

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+type recorder struct {
+	ticks []uint64
+}
+
+func (r *recorder) Tick(now uint64) { r.ticks = append(r.ticks, now) }
+
+func TestEngineTicksEveryCycle(t *testing.T) {
+	e := NewEngine()
+	r := &recorder{}
+	e.Register("r", 1, r)
+	for i := 0; i < 10; i++ {
+		e.Step()
+	}
+	if len(r.ticks) != 10 {
+		t.Fatalf("got %d ticks, want 10", len(r.ticks))
+	}
+	for i, c := range r.ticks {
+		if c != uint64(i) {
+			t.Fatalf("tick %d at cycle %d, want %d", i, c, i)
+		}
+	}
+}
+
+func TestEngineClockDivisor(t *testing.T) {
+	e := NewEngine()
+	fast := &recorder{}
+	slow := &recorder{}
+	e.Register("fast", 1, fast)
+	e.Register("slow", 2, slow)
+	for i := 0; i < 10; i++ {
+		e.Step()
+	}
+	if len(fast.ticks) != 10 {
+		t.Errorf("fast ticked %d times, want 10", len(fast.ticks))
+	}
+	if len(slow.ticks) != 5 {
+		t.Errorf("slow ticked %d times, want 5", len(slow.ticks))
+	}
+	for _, c := range slow.ticks {
+		if c%2 != 0 {
+			t.Errorf("slow ticked at odd cycle %d", c)
+		}
+	}
+}
+
+func TestEngineDivisorProperty(t *testing.T) {
+	f := func(divRaw uint8, stepsRaw uint8) bool {
+		div := uint64(divRaw%7) + 1
+		steps := int(stepsRaw%100) + 1
+		e := NewEngine()
+		r := &recorder{}
+		e.Register("r", div, r)
+		for i := 0; i < steps; i++ {
+			e.Step()
+		}
+		want := (uint64(steps) + div - 1) / div
+		return uint64(len(r.ticks)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineTickOrderIsRegistrationOrder(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Register("a", 1, TickFunc(func(uint64) { order = append(order, "a") }))
+	e.Register("b", 1, TickFunc(func(uint64) { order = append(order, "b") }))
+	e.Register("c", 1, TickFunc(func(uint64) { order = append(order, "c") }))
+	e.Step()
+	if got := order[0] + order[1] + order[2]; got != "abc" {
+		t.Fatalf("tick order %q, want abc", got)
+	}
+}
+
+func TestEngineRunStopsOnRequest(t *testing.T) {
+	e := NewEngine()
+	sentinel := errors.New("done")
+	e.Register("stopper", 1, TickFunc(func(now uint64) {
+		if now == 5 {
+			e.Stop("five", sentinel)
+		}
+	}))
+	err := e.Run(1000)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if e.Now() != 6 {
+		t.Fatalf("stopped at %d, want 6 (stop takes effect end of cycle)", e.Now())
+	}
+	if e.StopReason() != "five" {
+		t.Fatalf("reason %q", e.StopReason())
+	}
+}
+
+func TestEngineRunBudgetExhaustion(t *testing.T) {
+	e := NewEngine()
+	e.Register("noop", 1, TickFunc(func(uint64) {}))
+	err := e.Run(100)
+	if !errors.Is(err, ErrMaxCycles) {
+		t.Fatalf("err = %v, want ErrMaxCycles", err)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("ran %d cycles, want 100", e.Now())
+	}
+}
+
+func TestEngineRunNormalStopReturnsNil(t *testing.T) {
+	e := NewEngine()
+	e.Register("stopper", 1, TickFunc(func(now uint64) {
+		if now == 3 {
+			e.Stop("ok", nil)
+		}
+	}))
+	if err := e.Run(100); err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+}
+
+func TestRegisterPanicsOnBadArgs(t *testing.T) {
+	e := NewEngine()
+	mustPanic(t, func() { e.Register("x", 0, TickFunc(func(uint64) {})) })
+	mustPanic(t, func() { e.Register("x", 1, nil) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

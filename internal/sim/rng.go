@@ -1,0 +1,32 @@
+package sim
+
+// RNG is a deterministic SplitMix64 pseudo-random number generator.  All
+// stochastic behaviour in the simulator (the TCS workload's random block
+// selection, optional interrupt-response jitter) draws from an RNG seeded
+// from the experiment configuration, so identical configurations replay
+// identical cycle-accurate executions.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64-bit pseudo-random value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n).  It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}

@@ -1,0 +1,146 @@
+// Package stats provides the reporting helpers shared by the experiment
+// harness: execution-time ratios and speedups exactly as the paper defines
+// them, and aligned text/CSV table rendering for cmd/experiments.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Ratio returns cycles/baseline — the "ratio of execution time" plotted in
+// the paper's Figures 5–8 (1.0 = as fast as the baseline; lower is faster).
+func Ratio(cycles, baseline uint64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return float64(cycles) / float64(baseline)
+}
+
+// SpeedupPct returns the paper's "% speedup compared to X":
+// (T_x - T_ours) / T_x × 100.
+func SpeedupPct(ours, reference uint64) float64 {
+	if reference == 0 {
+		return 0
+	}
+	return (float64(reference) - float64(ours)) / float64(reference) * 100
+}
+
+// ImprovementPct is an alias of SpeedupPct with the paper's "performance
+// improvement against" phrasing.
+func ImprovementPct(ours, reference uint64) float64 { return SpeedupPct(ours, reference) }
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells render with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// RenderMarkdown writes the table as a GitHub-flavoured markdown table,
+// with the title as a bold caption line.
+func (t *Table) RenderMarkdown(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "**%s**\n\n", t.Title)
+	}
+	row := func(cells []string) {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
+	}
+	row(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	row(sep)
+	for _, r := range t.Rows {
+		row(r)
+	}
+}
+
+// RenderCSV writes the table as CSV (headers first, no title).
+func (t *Table) RenderCSV(w io.Writer) {
+	write := func(cells []string) {
+		esc := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			esc[i] = c
+		}
+		fmt.Fprintln(w, strings.Join(esc, ","))
+	}
+	write(t.Headers)
+	for _, row := range t.Rows {
+		write(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(50, 100); got != 0.5 {
+		t.Fatalf("ratio %v", got)
+	}
+	if got := Ratio(100, 0); got != 0 {
+		t.Fatalf("ratio with zero baseline %v", got)
+	}
+}
+
+func TestSpeedupPct(t *testing.T) {
+	if got := SpeedupPct(62, 100); math.Abs(got-38) > 1e-9 {
+		t.Fatalf("speedup %v, want 38", got)
+	}
+	if got := SpeedupPct(100, 100); got != 0 {
+		t.Fatalf("no-diff speedup %v", got)
+	}
+	if got := SpeedupPct(150, 100); got != -50 {
+		t.Fatalf("slowdown %v, want -50", got)
+	}
+	if got := SpeedupPct(1, 0); got != 0 {
+		t.Fatalf("zero reference %v", got)
+	}
+	if ImprovementPct(62, 100) != SpeedupPct(62, 100) {
+		t.Fatal("alias mismatch")
+	}
+}
+
+func TestSpeedupRatioConsistency(t *testing.T) {
+	f := func(a, b uint32) bool {
+		ours, ref := uint64(a)+1, uint64(b)+1
+		s := SpeedupPct(ours, ref)
+		r := Ratio(ours, ref)
+		return math.Abs((1-r)*100-s) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Figure 6", "lines", "ratio")
+	tb.AddRow(1, 0.497)
+	tb.AddRow(32, 0.3871)
+	out := tb.String()
+	if !strings.Contains(out, "Figure 6") || !strings.Contains(out, "lines") {
+		t.Fatalf("render missing header: %q", out)
+	}
+	if !strings.Contains(out, "0.4970") || !strings.Contains(out, "0.3871") {
+		t.Fatalf("floats not formatted: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("%d lines: %q", len(lines), out)
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x,y", 2)
+	var sb strings.Builder
+	tb.RenderCSV(&sb)
+	out := sb.String()
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Fatalf("csv header: %q", out)
+	}
+	if !strings.Contains(out, `"x,y"`) {
+		t.Fatalf("csv quoting: %q", out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "col", "c")
+	tb.AddRow("longvalue", 1)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header and row begin at the same column offset.
+	if !strings.HasPrefix(lines[0], "  col") || !strings.HasPrefix(lines[2], "  longvalue") {
+		t.Fatalf("alignment: %q", out)
+	}
+	// The second column starts at the same offset in header and row.
+	if strings.LastIndex(lines[0], "c") != strings.LastIndex(lines[2], "1") {
+		t.Fatalf("columns misaligned: %q", out)
+	}
+}
+
+func TestTableRenderMarkdown(t *testing.T) {
+	tb := NewTable("Figure 6", "lines", "ratio")
+	tb.AddRow(32, 0.38)
+	var sb strings.Builder
+	tb.RenderMarkdown(&sb)
+	out := sb.String()
+	for _, want := range []string{"**Figure 6**", "| lines | ratio |", "| --- | --- |", "| 32 | 0.3800 |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

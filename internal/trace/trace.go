@@ -1,0 +1,110 @@
+// Package trace provides a lightweight, allocation-conscious event trace for
+// debugging simulations and for the case-study walkthrough output of
+// cmd/protocheck.  Tracing is optional: a nil *Log is valid everywhere and
+// records nothing.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Event is one timestamped trace record.
+type Event struct {
+	Cycle uint64
+	Unit  string
+	Msg   string
+}
+
+// String formats the event as "cycle unit: msg".
+func (e Event) String() string {
+	return fmt.Sprintf("%8d %-12s %s", e.Cycle, e.Unit, e.Msg)
+}
+
+// Log is a bounded in-memory event log.  When the bound is exceeded the
+// oldest events are discarded (ring-buffer semantics), so long simulations
+// keep the most recent — and most interesting — history.
+type Log struct {
+	events  []Event
+	max     int
+	dropped uint64
+}
+
+// NewLog returns a log retaining at most max events (max <= 0 means an
+// unbounded log).
+func NewLog(max int) *Log {
+	return &Log{max: max}
+}
+
+// Enabled reports whether the log records events (false for nil).
+func (l *Log) Enabled() bool { return l != nil }
+
+// Addf records a formatted event.  Safe to call on a nil log.
+func (l *Log) Addf(cycle uint64, unit, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.events = append(l.events, Event{Cycle: cycle, Unit: unit, Msg: fmt.Sprintf(format, args...)})
+	if l.max > 0 && len(l.events) > l.max {
+		n := len(l.events) - l.max
+		l.events = append(l.events[:0], l.events[n:]...)
+		l.dropped += uint64(n)
+	}
+}
+
+// Events returns the retained events, oldest first.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Dropped reports how many events were discarded by the ring bound.
+func (l *Log) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped
+}
+
+// Len returns the number of retained events.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.events)
+}
+
+// WriteTo dumps the retained events to w, one per line.
+func (l *Log) WriteTo(w io.Writer) (int64, error) {
+	if l == nil {
+		return 0, nil
+	}
+	var total int64
+	for _, e := range l.events {
+		n, err := io.WriteString(w, e.String()+"\n")
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Grep returns the retained events whose message contains substr.
+func (l *Log) Grep(substr string) []Event {
+	if l == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range l.events {
+		if strings.Contains(e.Msg, substr) {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Addf(1, "unit", "message %d", 1)
+	if l.Enabled() || l.Len() != 0 || l.Dropped() != 0 {
+		t.Fatal("nil log misbehaves")
+	}
+	if l.Events() != nil || l.Grep("x") != nil {
+		t.Fatal("nil log returns events")
+	}
+	if n, err := l.WriteTo(&strings.Builder{}); n != 0 || err != nil {
+		t.Fatal("nil WriteTo")
+	}
+}
+
+func TestAddAndEvents(t *testing.T) {
+	l := NewLog(10)
+	l.Addf(5, "bus", "grant %s", "m0")
+	l.Addf(6, "bus", "done")
+	evs := l.Events()
+	if len(evs) != 2 || evs[0].Cycle != 5 || evs[0].Unit != "bus" || evs[0].Msg != "grant m0" {
+		t.Fatalf("events %v", evs)
+	}
+}
+
+func TestRingBound(t *testing.T) {
+	l := NewLog(3)
+	for i := 0; i < 10; i++ {
+		l.Addf(uint64(i), "u", "e%d", i)
+	}
+	if l.Len() != 3 {
+		t.Fatalf("len %d, want 3", l.Len())
+	}
+	if l.Dropped() != 7 {
+		t.Fatalf("dropped %d, want 7", l.Dropped())
+	}
+	evs := l.Events()
+	if evs[0].Msg != "e7" || evs[2].Msg != "e9" {
+		t.Fatalf("kept %v, want the newest three", evs)
+	}
+}
+
+func TestUnboundedLog(t *testing.T) {
+	l := NewLog(0)
+	for i := 0; i < 100; i++ {
+		l.Addf(uint64(i), "u", "e")
+	}
+	if l.Len() != 100 || l.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d", l.Len(), l.Dropped())
+	}
+}
+
+func TestGrep(t *testing.T) {
+	l := NewLog(0)
+	l.Addf(1, "bus", "ARTRY m0")
+	l.Addf(2, "bus", "grant m1")
+	l.Addf(3, "bus", "ARTRY m1")
+	if got := l.Grep("ARTRY"); len(got) != 2 {
+		t.Fatalf("grep found %d, want 2", len(got))
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	l := NewLog(0)
+	l.Addf(42, "cache", "fill 0x100")
+	var sb strings.Builder
+	if _, err := l.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "42") || !strings.Contains(out, "cache") || !strings.Contains(out, "fill 0x100") {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Cycle: 7, Unit: "bus", Msg: "x"}
+	if s := e.String(); !strings.Contains(s, "7") || !strings.Contains(s, "bus") {
+		t.Fatalf("event string %q", s)
+	}
+}

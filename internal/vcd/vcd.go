@@ -1,0 +1,171 @@
+// Package vcd writes IEEE 1364 Value Change Dump files, the waveform
+// interchange format every EDA wave viewer (GTKWave, Verdi, SimVision)
+// reads.  The simulator streams bus and core activity into a VCD so a run
+// can be inspected exactly like the RTL co-simulations the paper's authors
+// debugged under Seamless CVE.
+//
+// Usage:
+//
+//	w := vcd.NewWriter(f, "10ns")
+//	busy := w.Declare("bus", "busy", 1)
+//	addr := w.Declare("bus", "addr", 32)
+//	w.Begin()
+//	w.Set(busy, cycle, 1)
+//	w.Set(addr, cycle, 0x1000_0000)
+//	w.Close(lastCycle)
+//
+// Values are emitted only on change, with timestamps strictly increasing.
+package vcd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Signal is a declared VCD variable.
+type Signal struct {
+	id     string
+	module string
+	name   string
+	width  int
+	last   uint64
+	valid  bool // a value has been emitted
+}
+
+// Writer streams a VCD file.
+type Writer struct {
+	out       *bufio.Writer
+	timescale string
+	signals   []*Signal
+	began     bool
+	time      uint64
+	timeOpen  bool // a #time line has been emitted for w.time
+	err       error
+}
+
+// NewWriter wraps w.  timescale is a VCD timescale string such as "10ns"
+// (one 50 MHz bus cycle at the paper's clocking is 20ns; the default
+// engine cycle is 10ns).
+func NewWriter(w io.Writer, timescale string) *Writer {
+	if timescale == "" {
+		timescale = "10ns"
+	}
+	return &Writer{out: bufio.NewWriter(w), timescale: timescale}
+}
+
+// identifier codes: printable ASCII 33..126, multi-char when exhausted.
+func idCode(n int) string {
+	const lo, hi = 33, 127
+	s := ""
+	for {
+		s = string(rune(lo+n%(hi-lo))) + s
+		n = n/(hi-lo) - 1
+		if n < 0 {
+			return s
+		}
+	}
+}
+
+// Declare registers a variable of the given bit width under a module
+// scope.  All declarations must precede Begin.
+func (w *Writer) Declare(module, name string, width int) *Signal {
+	if w.began {
+		panic("vcd: Declare after Begin")
+	}
+	if width <= 0 || width > 64 {
+		panic(fmt.Sprintf("vcd: width %d out of range", width))
+	}
+	s := &Signal{id: idCode(len(w.signals)), module: module, name: name, width: width}
+	w.signals = append(w.signals, s)
+	return s
+}
+
+// Begin writes the header and the initial (all-x) dump.
+func (w *Writer) Begin() error {
+	if w.began {
+		return fmt.Errorf("vcd: Begin called twice")
+	}
+	w.began = true
+	w.printf("$version hetcc cycle-level simulator $end\n")
+	w.printf("$timescale %s $end\n", w.timescale)
+
+	// Group signals by module, in first-declaration order.
+	var modules []string
+	byModule := map[string][]*Signal{}
+	for _, s := range w.signals {
+		if _, ok := byModule[s.module]; !ok {
+			modules = append(modules, s.module)
+		}
+		byModule[s.module] = append(byModule[s.module], s)
+	}
+	sort.SliceStable(modules, func(i, j int) bool { return false }) // keep declaration order
+	for _, m := range modules {
+		w.printf("$scope module %s $end\n", m)
+		for _, s := range byModule[m] {
+			w.printf("$var wire %d %s %s $end\n", s.width, s.id, s.name)
+		}
+		w.printf("$upscope $end\n")
+	}
+	w.printf("$enddefinitions $end\n")
+	w.printf("$dumpvars\n")
+	for _, s := range w.signals {
+		w.emit(s, 0, true) // x-initialised as 0 at time 0
+	}
+	w.printf("$end\n")
+	w.timeOpen = true
+	return w.err
+}
+
+// Set records signal s holding value v at time t.  Emits a change record
+// only when the value differs from the last one.  Times must not decrease.
+func (w *Writer) Set(s *Signal, t uint64, v uint64) error {
+	if !w.began {
+		return fmt.Errorf("vcd: Set before Begin")
+	}
+	if t < w.time {
+		return fmt.Errorf("vcd: time went backwards (%d < %d)", t, w.time)
+	}
+	if s.valid && s.last == v {
+		return w.err
+	}
+	if t > w.time || !w.timeOpen {
+		w.printf("#%d\n", t)
+		w.time = t
+		w.timeOpen = true
+	}
+	w.emit(s, v, false)
+	return w.err
+}
+
+func (w *Writer) emit(s *Signal, v uint64, initial bool) {
+	if s.width == 1 {
+		w.printf("%d%s\n", v&1, s.id)
+	} else {
+		w.printf("b%b %s\n", v, s.id)
+	}
+	s.last = v
+	s.valid = true
+	_ = initial
+}
+
+// Close stamps the final time and flushes.
+func (w *Writer) Close(t uint64) error {
+	if w.began && t > w.time {
+		w.printf("#%d\n", t)
+	}
+	if err := w.out.Flush(); err != nil && w.err == nil {
+		w.err = err
+	}
+	return w.err
+}
+
+func (w *Writer) printf(format string, args ...any) {
+	if w.err != nil {
+		return
+	}
+	if _, err := fmt.Fprintf(w.out, format, args...); err != nil {
+		w.err = err
+	}
+}

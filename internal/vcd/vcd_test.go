@@ -1,0 +1,117 @@
+package vcd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeaderStructure(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb, "20ns")
+	busy := w.Declare("bus", "busy", 1)
+	addr := w.Declare("bus", "addr", 32)
+	state := w.Declare("cpu0", "state", 2)
+	if err := w.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	w.Set(busy, 1, 1)
+	w.Set(addr, 1, 0x10)
+	w.Set(state, 2, 3)
+	if err := w.Close(5); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale 20ns $end",
+		"$scope module bus $end",
+		"$var wire 1 ! busy $end",
+		"$var wire 32 \" addr $end",
+		"$scope module cpu0 $end",
+		"$enddefinitions $end",
+		"$dumpvars",
+		"#1",
+		"1!",
+		"b10000 \"",
+		"#2",
+		"b11 #",
+		"#5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChangeOnlySemantics(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb, "")
+	s := w.Declare("m", "sig", 1)
+	w.Begin()
+	w.Set(s, 1, 1)
+	w.Set(s, 2, 1) // no change: must not emit
+	w.Set(s, 3, 0)
+	w.Close(3)
+	out := sb.String()
+	if strings.Contains(out, "#2") {
+		t.Fatalf("redundant timestamp emitted:\n%s", out)
+	}
+	if strings.Count(out, "1!") != 1 {
+		t.Fatalf("value 1 emitted more than once:\n%s", out)
+	}
+}
+
+func TestTimeMonotonicity(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb, "")
+	s := w.Declare("m", "sig", 1)
+	w.Begin()
+	if err := w.Set(s, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Set(s, 4, 0); err == nil {
+		t.Fatal("time reversal accepted")
+	}
+}
+
+func TestSetBeforeBegin(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb, "")
+	s := w.Declare("m", "sig", 1)
+	if err := w.Set(s, 1, 1); err == nil {
+		t.Fatal("Set before Begin accepted")
+	}
+}
+
+func TestDeclareAfterBeginPanics(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb, "")
+	w.Begin()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	w.Declare("m", "late", 1)
+}
+
+func TestIDCodesUnique(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb, "")
+	seen := map[string]bool{}
+	for i := 0; i < 300; i++ { // forces multi-character codes
+		s := w.Declare("m", "sig", 1)
+		if seen[s.id] {
+			t.Fatalf("duplicate id %q at %d", s.id, i)
+		}
+		seen[s.id] = true
+	}
+}
+
+func TestBeginTwiceErrors(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb, "")
+	w.Begin()
+	if err := w.Begin(); err == nil {
+		t.Fatal("double Begin accepted")
+	}
+}

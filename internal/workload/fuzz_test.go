@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"testing"
+
+	"hetcc/internal/platform"
+)
+
+// FuzzPrograms: arbitrary parameter combinations must either be rejected
+// by validation or yield structurally valid programs for every scenario
+// and strategy — never panic, never emit an unterminated program.
+func FuzzPrograms(f *testing.F) {
+	f.Add(8, 1, 8, 8, uint64(1), 75)
+	f.Add(32, 4, 16, 1, uint64(42), 0)
+	f.Add(1, 1, 1, 8, uint64(0), 100)
+	f.Add(-3, 2, 5, 9, uint64(7), 101)
+	f.Fuzz(func(t *testing.T, lines, execTime, iters, words int, seed uint64, affinity int) {
+		p := Params{
+			Lines:            lines,
+			ExecTime:         execTime,
+			Iterations:       iters,
+			WordsPerLine:     words,
+			Seed:             seed,
+			BlockAffinityPct: affinity,
+		}
+		for _, s := range Scenarios() {
+			for _, sol := range platform.Solutions() {
+				progs, err := Programs(s, p, sol, 2)
+				if err != nil {
+					continue // rejected by validation: fine
+				}
+				for task, prog := range progs {
+					if verr := prog.Validate(); verr != nil {
+						t.Fatalf("%v/%v task %d: invalid program from accepted params %+v: %v", s, sol, task, p, verr)
+					}
+					for _, op := range prog {
+						if op.Addr != 0 && !platform.InShared(op.Addr) {
+							t.Fatalf("%v/%v task %d: op %v outside the shared region", s, sol, task, op)
+						}
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"fmt"
+
+	"hetcc/internal/isa"
+	"hetcc/internal/platform"
+)
+
+// Pattern selects one of the canonical sharing patterns used by the
+// ablation studies (beyond the paper's WCS/TCS/BCS microbenches).
+type Pattern uint8
+
+const (
+	// PingPong: two tasks alternately read and write one shared word —
+	// the fine-grain pattern where update-based protocols shine.
+	PingPong Pattern = iota
+	// ProducerConsumer: task 0 fills a buffer, task 1 reads it, through a
+	// lock-protected hand-off each round.
+	ProducerConsumer
+	// Migratory: each task in turn reads-modifies-writes the whole
+	// working set (classic migratory data, invalidation's best case).
+	Migratory
+	// FalseSharing: tasks write *disjoint* words that share cache lines —
+	// all coherence traffic is protocol overhead.
+	FalseSharing
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case PingPong:
+		return "ping-pong"
+	case ProducerConsumer:
+		return "producer-consumer"
+	case Migratory:
+		return "migratory"
+	case FalseSharing:
+		return "false-sharing"
+	default:
+		return fmt.Sprintf("Pattern(%d)", uint8(p))
+	}
+}
+
+// Patterns lists all canned patterns.
+func Patterns() []Pattern {
+	return []Pattern{PingPong, ProducerConsumer, Migratory, FalseSharing}
+}
+
+// PatternParams sizes a pattern run.
+type PatternParams struct {
+	// Rounds is the number of hand-offs / rounds per task (default 8).
+	Rounds int
+	// Lines sizes the buffer for ProducerConsumer/Migratory/FalseSharing
+	// (default 8).
+	Lines int
+	// LineBytes defaults to 32.
+	LineBytes int
+}
+
+func (p PatternParams) defaults() PatternParams {
+	if p.Rounds == 0 {
+		p.Rounds = 8
+	}
+	if p.Lines == 0 {
+		p.Lines = 8
+	}
+	if p.LineBytes == 0 {
+		p.LineBytes = 32
+	}
+	return p
+}
+
+// PatternPrograms generates one program per task (two tasks) for the
+// pattern.  All shared accesses are lock-disciplined so the golden checker
+// applies; the lock manager must be configured with Alternate so rounds
+// interleave deterministically.
+func PatternPrograms(pat Pattern, p PatternParams) ([]isa.Program, error) {
+	p = p.defaults()
+	if p.Rounds <= 0 || p.Lines <= 0 {
+		return nil, fmt.Errorf("workload: bad pattern params %+v", p)
+	}
+	base := platform.SharedBase
+	switch pat {
+	case PingPong:
+		word := base
+		mk := func(task int) isa.Program {
+			b := isa.NewBuilder()
+			for r := 0; r < p.Rounds; r++ {
+				b.Lock(0)
+				b.Read(word)
+				b.Write(word, uint32(task+1)<<16|uint32(r+1))
+				b.Unlock(0)
+			}
+			return b.Halt()
+		}
+		return []isa.Program{mk(0), mk(1)}, nil
+
+	case ProducerConsumer:
+		producer := isa.NewBuilder()
+		consumer := isa.NewBuilder()
+		for r := 0; r < p.Rounds; r++ {
+			producer.Lock(0)
+			for l := 0; l < p.Lines; l++ {
+				for w := 0; w < p.LineBytes/4; w++ {
+					producer.Write(base+uint32(l*p.LineBytes+4*w), uint32(r+1)<<12|uint32(l)<<4|uint32(w))
+				}
+			}
+			producer.Unlock(0)
+			consumer.Lock(0)
+			for l := 0; l < p.Lines; l++ {
+				for w := 0; w < p.LineBytes/4; w++ {
+					consumer.Read(base + uint32(l*p.LineBytes+4*w))
+				}
+			}
+			consumer.Unlock(0)
+		}
+		return []isa.Program{producer.Halt(), consumer.Halt()}, nil
+
+	case Migratory:
+		mk := func(task int) isa.Program {
+			b := isa.NewBuilder()
+			for r := 0; r < p.Rounds; r++ {
+				b.Lock(0)
+				for l := 0; l < p.Lines; l++ {
+					addr := base + uint32(l*p.LineBytes)
+					b.Read(addr)
+					b.Write(addr, uint32(task+1)<<20|uint32(r)<<8|uint32(l))
+				}
+				b.Unlock(0)
+			}
+			return b.Halt()
+		}
+		return []isa.Program{mk(0), mk(1)}, nil
+
+	case FalseSharing:
+		// Task t owns word t of every line; writes race on lines, never
+		// on words.  Each task uses its own lock purely to satisfy the
+		// race checker; the traffic under study is the line ping-pong.
+		mk := func(task int) isa.Program {
+			b := isa.NewBuilder()
+			for r := 0; r < p.Rounds; r++ {
+				b.Lock(0)
+				for l := 0; l < p.Lines; l++ {
+					addr := base + uint32(l*p.LineBytes+4*task)
+					b.Read(addr)
+					b.Write(addr, uint32(task+1)<<20|uint32(r)<<8|uint32(l))
+				}
+				b.Unlock(0)
+			}
+			return b.Halt()
+		}
+		return []isa.Program{mk(0), mk(1)}, nil
+
+	default:
+		return nil, fmt.Errorf("workload: unknown pattern %v", pat)
+	}
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"testing"
+
+	"hetcc/internal/isa"
+	"hetcc/internal/platform"
+)
+
+func TestPatternProgramsValidate(t *testing.T) {
+	for _, pat := range Patterns() {
+		progs, err := PatternPrograms(pat, PatternParams{})
+		if err != nil {
+			t.Fatalf("%v: %v", pat, err)
+		}
+		if len(progs) != 2 {
+			t.Fatalf("%v: %d programs", pat, len(progs))
+		}
+		for task, prog := range progs {
+			if err := prog.Validate(); err != nil {
+				t.Fatalf("%v task %d: %v", pat, task, err)
+			}
+		}
+		if pat.String() == "" {
+			t.Fatal("empty pattern name")
+		}
+	}
+}
+
+func TestPatternShapes(t *testing.T) {
+	pp, _ := PatternPrograms(PingPong, PatternParams{Rounds: 4})
+	if pp[0].Reads() != 4 || pp[0].Writes() != 4 {
+		t.Fatalf("ping-pong shape: %d/%d", pp[0].Reads(), pp[0].Writes())
+	}
+	pc, _ := PatternPrograms(ProducerConsumer, PatternParams{Rounds: 2, Lines: 4})
+	if pc[0].Writes() != 2*4*8 || pc[0].Reads() != 0 {
+		t.Fatalf("producer shape: %d/%d", pc[0].Reads(), pc[0].Writes())
+	}
+	if pc[1].Reads() != 2*4*8 || pc[1].Writes() != 0 {
+		t.Fatalf("consumer shape: %d/%d", pc[1].Reads(), pc[1].Writes())
+	}
+	// False sharing: the two tasks touch disjoint words of the same lines.
+	fs, _ := PatternPrograms(FalseSharing, PatternParams{Rounds: 1, Lines: 2})
+	words := map[uint32]int{}
+	for task, prog := range fs {
+		for _, op := range prog {
+			if op.Kind == isa.Write {
+				if prev, clash := words[op.Addr]; clash && prev != task {
+					t.Fatalf("false-sharing tasks write the same word 0x%x", op.Addr)
+				}
+				words[op.Addr] = task
+			}
+		}
+	}
+	if len(words) != 4 { // 2 lines x 2 tasks
+		t.Fatalf("%d distinct words", len(words))
+	}
+}
+
+func TestPatternParamsValidation(t *testing.T) {
+	if _, err := PatternPrograms(PingPong, PatternParams{Rounds: -1}); err == nil {
+		t.Fatal("negative rounds accepted")
+	}
+	if _, err := PatternPrograms(Pattern(99), PatternParams{}); err == nil {
+		t.Fatal("unknown pattern accepted")
+	}
+}
+
+// TestPatternsRunCoherently drives every pattern end to end on the PF2
+// platform with the golden checker.
+func TestPatternsRunCoherently(t *testing.T) {
+	for _, pat := range Patterns() {
+		p, err := platform.Build(platform.Config{
+			Processors: platform.PPCARm(),
+			Solution:   platform.Proposed,
+			Lock:       platform.LockChoice{Kind: platform.LockUncachedTAS, Alternate: true, SpinDelay: 4},
+			Verify:     true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs, err := PatternPrograms(pat, PatternParams{Rounds: 4, Lines: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.LoadPrograms(progs); err != nil {
+			t.Fatal(err)
+		}
+		res := p.Run(20_000_000)
+		if res.Err != nil {
+			t.Fatalf("%v: %v", pat, res.Err)
+		}
+		if !res.Coherent() {
+			t.Fatalf("%v: stale read: %v", pat, res.Violations[0])
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package wrapper
+
+import (
+	"strings"
+	"testing"
+
+	"hetcc/internal/coherence"
+	"hetcc/internal/core"
+)
+
+func TestConversionCountsAndMaps(t *testing.T) {
+	w := New("P0", core.WrapperPolicy{ConvertReadToWrite: true})
+	if got := w.ConvertSnoop(coherence.BusRd); got != coherence.BusRdX {
+		t.Fatalf("BusRd -> %v, want BusRdX", got)
+	}
+	if got := w.ConvertSnoop(coherence.BusRdX); got != coherence.BusRdX {
+		t.Fatalf("BusRdX -> %v", got)
+	}
+	if got := w.ConvertSnoop(coherence.BusUpgr); got != coherence.BusUpgr {
+		t.Fatalf("BusUpgr -> %v", got)
+	}
+	if w.Conversions != 1 {
+		t.Fatalf("conversions %d, want 1 (only the BusRd)", w.Conversions)
+	}
+}
+
+func TestNoConversionPassesThrough(t *testing.T) {
+	w := New("P0", core.WrapperPolicy{})
+	if got := w.ConvertSnoop(coherence.BusRd); got != coherence.BusRd {
+		t.Fatalf("BusRd -> %v with conversion off", got)
+	}
+	if w.Conversions != 0 {
+		t.Fatal("counted a conversion that did not happen")
+	}
+}
+
+func TestSharedOverrides(t *testing.T) {
+	cases := []struct {
+		ov       core.SharedOverride
+		in, want bool
+	}{
+		{core.SharedPassthrough, true, true},
+		{core.SharedPassthrough, false, false},
+		{core.SharedForceAssert, false, true},
+		{core.SharedForceAssert, true, true},
+		{core.SharedForceDeassert, true, false},
+		{core.SharedForceDeassert, false, false},
+	}
+	for _, c := range cases {
+		w := New("P", core.WrapperPolicy{Shared: c.ov})
+		if got := w.OverrideShared(c.in); got != c.want {
+			t.Errorf("%v(%v) = %v, want %v", c.ov, c.in, got, c.want)
+		}
+	}
+}
+
+func TestOverrideCounter(t *testing.T) {
+	w := New("P", core.WrapperPolicy{Shared: core.SharedForceDeassert})
+	w.OverrideShared(true)  // changed
+	w.OverrideShared(false) // unchanged
+	if w.Overrides != 1 {
+		t.Fatalf("overrides %d, want 1", w.Overrides)
+	}
+}
+
+func TestAllowSupply(t *testing.T) {
+	if New("P", core.WrapperPolicy{}).AllowSupply() {
+		t.Fatal("default wrapper allows c2c")
+	}
+	if !New("P", core.WrapperPolicy{AllowCacheToCache: true}).AllowSupply() {
+		t.Fatal("c2c wrapper denies supply")
+	}
+}
+
+func TestStringIncludesName(t *testing.T) {
+	w := New("PowerPC755", core.WrapperPolicy{ConvertReadToWrite: true})
+	if s := w.String(); !strings.Contains(s, "PowerPC755") {
+		t.Fatalf("String() = %q", s)
+	}
+	if w.Name() != "PowerPC755" {
+		t.Fatal("name lost")
+	}
+}

@@ -1,0 +1,227 @@
+package hetcc
+
+// Randomised end-to-end property tests: arbitrary lock-structured programs
+// over every platform preset and strategy must run to completion with no
+// stale read (golden model), no deadlock, and deterministic timing.
+
+import (
+	"testing"
+
+	"hetcc/internal/coherence"
+	"hetcc/internal/isa"
+	"hetcc/internal/platform"
+	"hetcc/internal/sim"
+	"hetcc/internal/workload"
+)
+
+// randomProgram builds a random but well-formed task: private work mixed
+// with lock-protected critical sections over a small pool of shared lines.
+// Under the Software strategy every touched line is drained before the
+// lock is released, as the paper's programming model requires.
+func randomProgram(rng *sim.RNG, task int, sol Solution) isa.Program {
+	b := isa.NewBuilder()
+	privBase := platform.PrivateBase + uint32(task)*platform.PrivateStride
+	sections := 2 + rng.Intn(4)
+	val := uint32(task+1) << 24
+	for sec := 0; sec < sections; sec++ {
+		// Private preamble.
+		for i, n := 0, rng.Intn(4); i < n; i++ {
+			addr := privBase + uint32(rng.Intn(64))*4
+			if rng.Intn(2) == 0 {
+				b.Read(addr)
+			} else {
+				val++
+				b.Write(addr, val)
+			}
+		}
+		if rng.Intn(4) == 0 {
+			b.Delay(rng.Intn(30) + 1)
+		}
+		// Critical section over a pool of 8 shared lines.
+		b.Lock(0)
+		touched := map[uint32]bool{}
+		for i, n := 0, 1+rng.Intn(10); i < n; i++ {
+			line := uint32(rng.Intn(8))
+			word := uint32(rng.Intn(8))
+			addr := platform.SharedBase + line*32 + word*4
+			touched[platform.SharedBase+line*32] = true
+			if rng.Intn(2) == 0 {
+				b.Read(addr)
+			} else {
+				val++
+				b.Write(addr, val)
+			}
+		}
+		// A gratuitous mid-section drain is always legal.
+		if rng.Intn(5) == 0 {
+			for base := range touched {
+				b.Clean(base)
+				break
+			}
+		}
+		if sol == Software {
+			for base := range touched {
+				b.Clean(base)
+			}
+		}
+		b.Unlock(0)
+	}
+	return b.Halt()
+}
+
+func presets() map[string][]platform.ProcessorSpec {
+	return map[string][]platform.ProcessorSpec{
+		"PF2 ppc+arm":   platform.PPCARm(),
+		"PF3 ppc+i486":  platform.PPCI486(),
+		"PF1 arm+arm":   platform.ARMPair(),
+		"PF3 mesi+mesi": {platform.Generic("A", coherence.MESI, 1), platform.Generic("B", coherence.MESI, 2)},
+		"PF3 moesi*2":   {platform.Generic("A", coherence.MOESI, 1), platform.Generic("B", coherence.MOESI, 1)},
+		"PF3 msi+moesi": {platform.Generic("A", coherence.MSI, 2), platform.Generic("B", coherence.MOESI, 1)},
+		"PF3 triple":    {platform.Generic("A", coherence.MEI, 1), platform.Generic("B", coherence.MESI, 2), platform.Generic("C", coherence.MOESI, 2)},
+	}
+}
+
+// TestRandomProgramsCoherentEverywhere is the repository's widest net: 7
+// platform presets × 3 strategies × several seeds of random programs.
+func TestRandomProgramsCoherentEverywhere(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4, 5}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for name, specs := range presets() {
+		for _, sol := range platform.Solutions() {
+			for _, seed := range seeds {
+				lk := platform.LockChoice{Kind: platform.LockUncachedTAS, SpinDelay: 3}
+				p, err := platform.Build(platform.Config{
+					Processors: specs,
+					Solution:   sol,
+					Lock:       lk,
+					Verify:     true,
+				})
+				if err != nil {
+					t.Fatalf("%s/%v: %v", name, sol, err)
+				}
+				progs := make([]isa.Program, len(specs))
+				rng := sim.NewRNG(seed * 0x9e3779b97f4a7c15)
+				for i := range progs {
+					progs[i] = randomProgram(rng, i, sol)
+				}
+				if err := p.LoadPrograms(progs); err != nil {
+					t.Fatalf("%s/%v: %v", name, sol, err)
+				}
+				res := p.Run(20_000_000)
+				if res.Err != nil {
+					t.Fatalf("%s/%v seed %d: %v (reason %s)", name, sol, seed, res.Err, res.StopReason)
+				}
+				if !res.Coherent() {
+					t.Fatalf("%s/%v seed %d: stale read: %v", name, sol, seed, res.Violations[0])
+				}
+			}
+		}
+	}
+}
+
+// TestRandomProgramsStateDiscipline: on heterogeneous proposed-solution
+// platforms, sampled cache states must stay within the reduced protocol.
+func TestRandomProgramsStateDiscipline(t *testing.T) {
+	cases := []struct {
+		name    string
+		specs   []platform.ProcessorSpec
+		illegal map[int][]coherence.State // per-core states that must not appear
+	}{
+		{
+			name:  "MEI+MESI",
+			specs: []platform.ProcessorSpec{platform.Generic("A", coherence.MEI, 1), platform.Generic("B", coherence.MESI, 1)},
+			illegal: map[int][]coherence.State{
+				1: {coherence.Shared, coherence.Owned},
+			},
+		},
+		{
+			name:  "MSI+MOESI",
+			specs: []platform.ProcessorSpec{platform.Generic("A", coherence.MSI, 1), platform.Generic("B", coherence.MOESI, 1)},
+			illegal: map[int][]coherence.State{
+				1: {coherence.Exclusive, coherence.Owned},
+			},
+		},
+		{
+			name:  "MESI+MOESI",
+			specs: []platform.ProcessorSpec{platform.Generic("A", coherence.MESI, 1), platform.Generic("B", coherence.MOESI, 1)},
+			illegal: map[int][]coherence.State{
+				1: {coherence.Owned},
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			lk := platform.LockChoice{Kind: platform.LockUncachedTAS, SpinDelay: 3}
+			p, err := platform.Build(platform.Config{
+				Processors: c.specs,
+				Solution:   Proposed,
+				Lock:       lk,
+				Verify:     true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			progs := make([]isa.Program, len(c.specs))
+			rng := sim.NewRNG(0xfeed)
+			for i := range progs {
+				progs[i] = randomProgram(rng, i, Proposed)
+			}
+			if err := p.LoadPrograms(progs); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 10_000_000 && !p.Engine.Stopped(); i++ {
+				p.Engine.Step()
+				if i%3 != 0 {
+					continue
+				}
+				for core, states := range c.illegal {
+					arr := p.Controllers[core].Cache()
+					for _, base := range arr.ResidentLines() {
+						st := arr.StateOf(base)
+						for _, bad := range states {
+							if st == bad && platform.InShared(base) {
+								t.Fatalf("core %d entered %v on line 0x%x at cycle %d", core, st, base, i)
+							}
+						}
+					}
+				}
+			}
+			if !p.Engine.Stopped() {
+				t.Fatal("programs did not retire")
+			}
+		})
+	}
+}
+
+// TestCrossSolutionFinalStateAgreement: the same workload run under all
+// three strategies must leave the same logical final contents for every
+// shared word (strategies change timing, never semantics).
+func TestCrossSolutionFinalStateAgreement(t *testing.T) {
+	params := workload.Params{Lines: 6, ExecTime: 2, Iterations: 4, WordsPerLine: 4, Seed: 11}
+	var goldens []map[uint32]uint32
+	for _, sol := range platform.Solutions() {
+		p, err := Build(Config{
+			Scenario: WCS,
+			Solution: sol,
+			Verify:   true,
+			Params:   params,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := p.Run(20_000_000)
+		if res.Err != nil {
+			t.Fatalf("%v: %v", sol, res.Err)
+		}
+		goldens = append(goldens, p.GoldenExpected())
+	}
+	for addr, want := range goldens[0] {
+		for i := 1; i < len(goldens); i++ {
+			if goldens[i][addr] != want {
+				t.Fatalf("strategies disagree at 0x%x: %#x vs %#x", addr, want, goldens[i][addr])
+			}
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package hetcc
+
+import (
+	"testing"
+
+	"hetcc/internal/platform"
+)
+
+// TestSmokeAllScenariosAllSolutions runs every scenario × solution
+// combination on the paper's PF2 platform with the golden-model checker on:
+// every run must terminate coherently.
+func TestSmokeAllScenariosAllSolutions(t *testing.T) {
+	for _, s := range []Scenario{WCS, TCS, BCS} {
+		for _, sol := range platform.Solutions() {
+			res, err := Run(Config{
+				Scenario: s,
+				Solution: sol,
+				Verify:   true,
+				Params:   Params{Lines: 4, ExecTime: 2, Iterations: 3},
+			})
+			if err != nil {
+				t.Fatalf("%v/%v: %v", s, sol, err)
+			}
+			if res.Err != nil {
+				t.Fatalf("%v/%v: run error: %v (reason %q, cycles %d)", s, sol, res.Err, res.StopReason, res.Cycles)
+			}
+			if !res.Coherent() {
+				t.Fatalf("%v/%v: stale reads: %v", s, sol, res.Violations)
+			}
+			if res.Cycles == 0 {
+				t.Fatalf("%v/%v: zero cycles", s, sol)
+			}
+			t.Logf("%v/%v: %d cycles", s, sol, res.Cycles)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package hetcc
+
+import (
+	"testing"
+
+	"hetcc/internal/coherence"
+	"hetcc/internal/platform"
+)
+
+// TestTable2StaleWithoutWrapper reproduces the paper's Table 2: integrating
+// MEI and MESI without the wrappers leaves the MESI processor with a stale
+// Shared line that a later read hits.
+func TestTable2StaleWithoutWrapper(t *testing.T) {
+	broken, fixed, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !broken.StaleRead {
+		t.Fatalf("expected stale read without wrappers; steps: %+v", broken.Steps)
+	}
+	if fixed.StaleRead {
+		t.Fatalf("stale read with wrappers installed: %v", fixed.Violations)
+	}
+	// Paper Table 2 state walk (P0=MESI, P1=MEI): after (a) P0 holds E;
+	// after (b) P0 S / P1 E; after (c) P0 S(stale) / P1 M.
+	want := [][2]coherence.State{
+		{coherence.Exclusive, coherence.Invalid},
+		{coherence.Shared, coherence.Exclusive},
+		{coherence.Shared, coherence.Modified},
+		{coherence.Shared, coherence.Modified},
+	}
+	for i, step := range broken.Steps {
+		got := [2]coherence.State{step.States[0], step.States[1]}
+		if got != want[i] {
+			t.Errorf("broken step %s: states %v, want %v", step.Label, got, want[i])
+		}
+	}
+	// With wrappers the effective protocol is MEI: S must never appear.
+	for _, step := range fixed.Steps {
+		for pi, st := range step.States {
+			if st == coherence.Shared || st == coherence.Owned {
+				t.Errorf("fixed run: P%d entered %v after %s", pi, st, step.Label)
+			}
+		}
+	}
+}
+
+// TestTable3StaleWithoutWrapper reproduces the paper's Table 3 (MSI+MESI):
+// the MESI processor silently upgrades its E line while the MSI processor
+// keeps a stale S copy.
+func TestTable3StaleWithoutWrapper(t *testing.T) {
+	broken, fixed, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !broken.StaleRead {
+		t.Fatalf("expected stale read without wrappers; steps: %+v", broken.Steps)
+	}
+	if fixed.StaleRead {
+		t.Fatalf("stale read with wrappers installed: %v", fixed.Violations)
+	}
+	want := [][2]coherence.State{
+		{coherence.Shared, coherence.Invalid},
+		{coherence.Shared, coherence.Exclusive},
+		{coherence.Shared, coherence.Modified},
+		{coherence.Shared, coherence.Modified},
+	}
+	for i, step := range broken.Steps {
+		got := [2]coherence.State{step.States[0], step.States[1]}
+		if got != want[i] {
+			t.Errorf("broken step %s: states %v, want %v", step.Label, got, want[i])
+		}
+	}
+	// With wrappers the effective protocol is MSI: E must never appear.
+	for _, step := range fixed.Steps {
+		for pi, st := range step.States {
+			if st == coherence.Exclusive || st == coherence.Owned {
+				t.Errorf("fixed run: P%d entered %v after %s", pi, st, step.Label)
+			}
+		}
+	}
+}
+
+// TestTable4Defaults pins the simulation environment to the paper's Table 4.
+func TestTable4Defaults(t *testing.T) {
+	info := Table4()
+	if info.PowerPCClockMHz != 100 || info.ARMClockMHz != 50 || info.BusClockMHz != 50 {
+		t.Fatalf("clocks %+v", info)
+	}
+	if info.SingleWordCycles != 6 {
+		t.Fatalf("single word %d, want 6", info.SingleWordCycles)
+	}
+	if info.BurstCycles != 13 {
+		t.Fatalf("burst %d, want 13 (the paper's miss penalty)", info.BurstCycles)
+	}
+	if info.LineBytes != 32 {
+		t.Fatalf("line %d bytes, want 32", info.LineBytes)
+	}
+}
+
+// TestHardwareDeadlock reproduces the paper's Figure 4: on the PF2 platform
+// with a *cached* lock variable the system livelocks; with either remedy
+// (uncached lock, hardware lock register, or the Bakery software lock) it
+// completes coherently.
+func TestHardwareDeadlock(t *testing.T) {
+	run := func(kind platform.LockKind) Result {
+		lk := platform.LockChoice{Kind: kind, Alternate: false, SpinDelay: 4}
+		res, err := Run(Config{
+			Scenario: WCS,
+			Solution: Proposed,
+			Lock:     &lk,
+			Verify:   true,
+			Params:   Params{Lines: 2, ExecTime: 1, Iterations: 4},
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		return res
+	}
+
+	if res := run(platform.LockCachedTAS); !res.Deadlocked() {
+		t.Errorf("cached lock: expected hardware deadlock, got err=%v after %d cycles", res.Err, res.Cycles)
+	}
+	for _, kind := range []platform.LockKind{platform.LockUncachedTAS, platform.LockHardwareRegister, platform.LockBakery} {
+		res := run(kind)
+		if res.Err != nil {
+			t.Errorf("%v: run error: %v", kind, res.Err)
+			continue
+		}
+		if !res.Coherent() {
+			t.Errorf("%v: stale reads: %v", kind, res.Violations)
+		}
+	}
+}
