@@ -1,0 +1,37 @@
+# Developer entry points.  `make verify` is the gate to run before sending
+# a change: formatting, vet, and the full test suite under the race
+# detector (the simulation kernel is single-threaded by design, so -race is
+# cheap and catches accidental goroutine use).
+
+GO ?= go
+
+.PHONY: all build test verify bench bench-metrics fmt vet
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+verify: fmt vet
+	$(GO) test -race ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./...
+
+# The metrics guard: the Disabled ns/op must stay within ~2% of a build
+# without instrumentation (every disabled-path record is one nil check).
+bench-metrics:
+	$(GO) test -run xxx -bench 'BenchmarkMetrics(Disabled|Enabled)' -benchmem -count 5 .
+	$(GO) test -run xxx -bench BenchmarkLogAddf -benchmem ./internal/trace

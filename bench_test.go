@@ -181,6 +181,43 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(cycles)/float64(b.N), "simCycles/op")
 }
 
+// BenchmarkMetricsDisabled is the guard benchmark for the nil-instrument
+// path: the reference WCS run with metrics off.  Compare against
+// BenchmarkMetricsEnabled — the disabled path must stay within noise (<2%)
+// of the pre-instrumentation baseline, since every hot-path record
+// collapses to a nil-receiver branch.
+func BenchmarkMetricsDisabled(b *testing.B) {
+	benchMetricsRun(b, false)
+}
+
+// BenchmarkMetricsEnabled measures the same run with the full metrics layer
+// recording (histograms, counters, time series, tenure capture).
+func BenchmarkMetricsEnabled(b *testing.B) {
+	benchMetricsRun(b, true)
+}
+
+func benchMetricsRun(b *testing.B, metrics bool) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(Config{
+			Scenario: WCS,
+			Solution: Proposed,
+			Metrics:  metrics,
+			Params:   Params{Lines: 16, ExecTime: 2},
+		})
+		if err != nil || res.Err != nil {
+			b.Fatal(err, res.Err)
+		}
+		if metrics && res.Metrics == nil {
+			b.Fatal("metrics enabled but no snapshot")
+		}
+		if !metrics && res.Metrics != nil {
+			b.Fatal("metrics disabled but snapshot present")
+		}
+	}
+}
+
 // BenchmarkModelCheck measures the core verifier on the heaviest mix.
 func BenchmarkModelCheck(b *testing.B) {
 	protos := []coherence.Kind{coherence.MOESI, coherence.MESI, coherence.MSI}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -30,7 +31,37 @@ var (
 	seed       = flag.Uint64("seed", 0, "workload seed")
 	verify     = flag.Bool("verify", true, "run the golden-model checker in every simulation")
 	platFlag   = flag.String("platform", "pf2", "evaluation platform: pf2 (PowerPC755+ARM920T, the paper's) or pf3 (PowerPC755+Intel486)")
+	reportFlag = flag.String("report", "", "write a machine-readable JSON report of the regenerated figure points to this file")
 )
+
+// figureReport is the -report document: every figure point regenerated this
+// run, keyed by figure name, under a versioned schema.
+type figureReport struct {
+	Schema        string                   `json:"schema"`
+	SchemaVersion int                      `json:"schema_version"`
+	Platform      string                   `json:"platform"`
+	Figures       map[string][]figurePoint `json:"figures"`
+}
+
+type figurePoint struct {
+	Scenario        string  `json:"scenario"`
+	ExecTime        int     `json:"exec_time,omitempty"`
+	Lines           int     `json:"lines"`
+	MissPenalty     int     `json:"miss_penalty,omitempty"`
+	CyclesDisabled  uint64  `json:"cycles_disabled,omitempty"`
+	CyclesSoftware  uint64  `json:"cycles_software"`
+	CyclesProposed  uint64  `json:"cycles_proposed"`
+	RatioSoftware   float64 `json:"ratio_software,omitempty"`
+	RatioProposed   float64 `json:"ratio_proposed,omitempty"`
+	RatioVsSoftware float64 `json:"ratio_vs_software,omitempty"`
+	SpeedupPct      float64 `json:"speedup_pct"`
+}
+
+var report = figureReport{
+	Schema:        "hetcc.experiments-report",
+	SchemaVersion: 1,
+	Figures:       make(map[string][]figurePoint),
+}
 
 func main() {
 	flag.Parse()
@@ -79,6 +110,16 @@ func main() {
 	}
 	if runAll || *figFlag == 8 {
 		fatalIf(figure8(out, opts))
+	}
+	if *reportFlag != "" {
+		report.Platform = *platFlag
+		f, err := os.Create(*reportFlag)
+		fatalIf(err)
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		fatalIf(enc.Encode(report))
+		fatalIf(f.Close())
+		fmt.Printf("figure report written to %s\n", *reportFlag)
 	}
 }
 
@@ -164,8 +205,20 @@ func figure(w io.Writer, n int, opts hetcc.FigureOptions) error {
 		return err
 	}
 	t := stats.NewTable(title, "exec_time", "lines", "software", "proposed", "speedup vs software %")
+	key := fmt.Sprintf("figure%d", n)
 	for _, p := range pts {
 		t.AddRow(p.ExecTime, p.Lines, p.RatioSoftware, p.RatioProposed, fmt.Sprintf("%+.2f", p.SpeedupVsSoftwarePct))
+		report.Figures[key] = append(report.Figures[key], figurePoint{
+			Scenario:       p.Scenario.String(),
+			ExecTime:       p.ExecTime,
+			Lines:          p.Lines,
+			CyclesDisabled: p.CyclesDisabled,
+			CyclesSoftware: p.CyclesSoftware,
+			CyclesProposed: p.CyclesProposed,
+			RatioSoftware:  p.RatioSoftware,
+			RatioProposed:  p.RatioProposed,
+			SpeedupPct:     p.SpeedupVsSoftwarePct,
+		})
 	}
 	render(w, t)
 	return nil
@@ -179,6 +232,15 @@ func figure8(w io.Writer, opts hetcc.FigureOptions) error {
 	t := stats.NewTable("Figure 8: execution time of proposed relative to software vs miss penalty", "scenario", "lines", "penalty", "ratio", "speedup %")
 	for _, p := range pts {
 		t.AddRow(p.Scenario, p.Lines, p.MissPenalty, p.RatioVsSoftware, fmt.Sprintf("%+.2f", p.SpeedupPct))
+		report.Figures["figure8"] = append(report.Figures["figure8"], figurePoint{
+			Scenario:        p.Scenario.String(),
+			Lines:           p.Lines,
+			MissPenalty:     p.MissPenalty,
+			CyclesSoftware:  p.CyclesSoftware,
+			CyclesProposed:  p.CyclesProposed,
+			RatioVsSoftware: p.RatioVsSoftware,
+			SpeedupPct:      p.SpeedupPct,
+		})
 	}
 	render(w, t)
 	return nil

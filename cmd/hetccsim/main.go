@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"hetcc"
+	"hetcc/internal/chrometrace"
 	"hetcc/internal/isa"
 	"hetcc/internal/memory"
 	"hetcc/internal/platform"
@@ -40,6 +41,9 @@ func main() {
 		verify       = flag.Bool("verify", true, "run the golden-model staleness checker")
 		traceN       = flag.Int("trace", 0, "retain and print the last N trace events")
 		vcdPath      = flag.String("vcd", "", "write an IEEE-1364 waveform dump (GTKWave) to this file")
+		reportPath   = flag.String("report", "", "write a machine-readable JSON run report to this file")
+		chromePath   = flag.String("chrometrace", "", "write a Chrome trace-event dump (load in Perfetto / chrome://tracing) to this file")
+		metricsWin   = flag.Uint64("metricswindow", 0, "time-series sampling window in engine cycles (0 = default)")
 		maxCycles    = flag.Uint64("maxcycles", 50_000_000, "cycle budget")
 	)
 	flag.Var(&progFlags, "prog", "assembly program for one core, as core=path (repeatable; see isa.Assemble for the syntax; cores without one halt immediately)")
@@ -95,6 +99,15 @@ func main() {
 	}
 	if *penalty != 13 {
 		cfg.Timing = memory.ScaledTiming(*penalty)
+	}
+	if *reportPath != "" || *chromePath != "" {
+		cfg.Metrics = true
+		cfg.MetricsWindow = *metricsWin
+	}
+	if *chromePath != "" && cfg.TraceCap == 0 {
+		// The Chrome trace wants the event log as instant markers; retain a
+		// generous window without turning on the textual trace dump.
+		cfg.TraceCap = 100_000
 	}
 	if *vcdPath != "" {
 		f, err := os.Create(*vcdPath)
@@ -197,6 +210,27 @@ func main() {
 	}
 	if *vcdPath != "" {
 		fmt.Printf("\nwaveform dump written to %s\n", *vcdPath)
+	}
+	if *reportPath != "" {
+		f, err := os.Create(*reportPath)
+		fatalIf(err)
+		fatalIf(platform.WriteReport(f, p.Report(res, scenario.String())))
+		fatalIf(f.Close())
+		fmt.Printf("run report written to %s\n", *reportPath)
+	}
+	if *chromePath != "" {
+		events := chrometrace.FromTenures(res.Tenures, func(m int) string {
+			if m >= 0 && m < len(p.CPUs) {
+				return p.CPUs[m].Name()
+			}
+			return fmt.Sprintf("master%d", m)
+		})
+		events = append(events, chrometrace.FromLog(p.Log)...)
+		f, err := os.Create(*chromePath)
+		fatalIf(err)
+		fatalIf(chrometrace.Write(f, events))
+		fatalIf(f.Close())
+		fmt.Printf("chrome trace written to %s (open in Perfetto or chrome://tracing)\n", *chromePath)
 	}
 
 	if res.Err != nil {

@@ -83,6 +83,13 @@ type Config struct {
 	VCD io.Writer
 	// PipelinedBus enables the AHB-style address/data overlap ablation.
 	PipelinedBus bool
+	// Metrics enables the unified metrics layer (latency histograms, time
+	// series, bus tenure spans); the run's snapshot lands in
+	// Result.Metrics.
+	Metrics bool
+	// MetricsWindow overrides the time-series sampling window in engine
+	// cycles (default platform.DefaultMetricsWindow).
+	MetricsWindow uint64
 	// MaxCycles bounds the run (default 50M engine cycles).
 	MaxCycles uint64
 }
@@ -124,6 +131,8 @@ func Build(cfg Config) (*platform.Platform, error) {
 		TraceCap:        cfg.TraceCap,
 		VCD:             cfg.VCD,
 		PipelinedBus:    cfg.PipelinedBus,
+		Metrics:         cfg.Metrics,
+		MetricsWindow:   cfg.MetricsWindow,
 	})
 	if err != nil {
 		return nil, err

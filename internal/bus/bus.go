@@ -27,6 +27,7 @@ import (
 
 	"hetcc/internal/coherence"
 	"hetcc/internal/memory"
+	"hetcc/internal/metrics"
 	"hetcc/internal/trace"
 )
 
@@ -122,6 +123,9 @@ type Transaction struct {
 	Tag any
 
 	retries int
+	// submitCycle is the bus cycle at which the transaction entered its
+	// master's queue (grant-wait metric).
+	submitCycle uint64
 }
 
 // Retries reports how many times the transaction has been ARTRYed.
@@ -270,7 +274,30 @@ type Bus struct {
 	cycle uint64 // bus cycles elapsed
 	next  *prepared
 
+	// tenure-span observability (engine-cycle timestamps)
+	curStart   uint64
+	curRetries int
+	onTenure   func(Tenure)
+
+	// nil-safe metric instruments (see SetMetrics)
+	mGrantWait *metrics.Histogram
+	mTenure    *metrics.Histogram
+	mRetries   *metrics.Histogram
+
 	stats Stats
+}
+
+// Tenure is one observed bus tenure: the span from grant to completion (or
+// ARTRY abort) in engine cycles.  Package chrometrace renders tenures as
+// timeline spans.
+type Tenure struct {
+	Master  int
+	Kind    Kind
+	Addr    uint32
+	Start   uint64 // engine cycle of the grant
+	End     uint64 // engine cycle of completion or abort
+	Aborted bool
+	Retries int
 }
 
 // New creates a bus backed by mem with the given configuration.
@@ -340,11 +367,29 @@ func (b *Bus) Stats() Stats { return b.stats }
 // Timing returns the memory timing in force.
 func (b *Bus) Timing() memory.Timing { return b.cfg.Timing }
 
+// Cycle reports the number of bus cycles elapsed (the bus-local clock; the
+// cache controllers use it to timestamp miss latencies).
+func (b *Bus) Cycle() uint64 { return b.cycle }
+
+// SetMetrics attaches the bus to a metrics registry.  A nil registry (or
+// never calling SetMetrics) leaves the instruments nil, and recording into
+// them is a no-op.
+func (b *Bus) SetMetrics(r *metrics.Registry) {
+	b.mGrantWait = r.Histogram("bus.grant.wait.buscycles")
+	b.mTenure = r.Histogram("bus.tenure.enginecycles")
+	b.mRetries = r.Histogram("bus.retries.per.txn")
+}
+
+// OnTenure installs an observer invoked at the end of every tenure,
+// including ARTRY-aborted ones (trace-span export).
+func (b *Bus) OnTenure(f func(Tenure)) { b.onTenure = f }
+
 // Submit queues a transaction for master t.Master.  done may be nil.
 func (b *Bus) Submit(t *Transaction, done func(Result)) {
 	if t.Master < 0 || t.Master >= len(b.masters) {
 		panic(fmt.Sprintf("bus: submit from unknown master %d", t.Master))
 	}
+	t.submitCycle = b.cycle
 	b.masters[t.Master].queue = append(b.masters[t.Master].queue, pending{txn: t, done: done})
 }
 
@@ -355,6 +400,7 @@ func (b *Bus) Submit(t *Transaction, done func(Result)) {
 // PowerPC 60x ordering the paper describes).
 func (b *Bus) SubmitFlush(t *Transaction, done func(Result)) {
 	m := b.masters[t.Master]
+	t.submitCycle = b.cycle
 	idx := 0
 	for idx < len(m.queue) && m.queue[idx].txn.retries > 0 {
 		idx++
@@ -417,6 +463,8 @@ func (b *Bus) Tick(now uint64) {
 				b.curKind = pt.p.txn.Kind
 				b.curAddr = pt.p.txn.Addr
 				b.curAbort = false
+				b.curStart = now
+				b.curRetries = pt.p.txn.retries
 			}
 		}
 		return
@@ -488,6 +536,7 @@ type prepared struct {
 func (b *Bus) grant(now uint64, id int) {
 	pt := b.prepare(now, id)
 	b.busy = true
+	b.curStart = now
 	if !pt.ok {
 		b.remaining = 1   // address phase; the grant consumed the arbitration cycle
 		b.cur = pending{} // nothing to complete
@@ -506,6 +555,7 @@ func (b *Bus) prepare(now uint64, id int) prepared {
 	b.stats.Tenures++
 	t := p.txn
 	b.curMaster, b.curKind, b.curAddr, b.curAbort = id, t.Kind, t.Addr, false
+	b.curRetries = t.retries
 
 	// Address phase: present the transaction to every other master's
 	// snoopers and combine their replies.
@@ -532,6 +582,7 @@ func (b *Bus) prepare(now uint64, id int) prepared {
 		// ARTRY: abort after arbitration + address phase (2 bus cycles)
 		// and put the transaction back at the head of its master's queue.
 		t.retries++
+		b.curRetries = t.retries
 		b.stats.Aborted++
 		b.consecutiveAborts++
 		b.log.Addf(now, "bus", "ARTRY %s %s 0x%08x (retry %d)", m.name, t.Kind, t.Addr, t.retries)
@@ -553,6 +604,7 @@ func (b *Bus) prepare(now uint64, id int) prepared {
 		return prepared{}
 	}
 	b.consecutiveAborts = 0
+	b.mGrantWait.Observe(b.cycle - t.submitCycle)
 
 	// Data phase.
 	res := Result{Shared: shared}
@@ -642,9 +694,22 @@ func (b *Bus) complete(now uint64) {
 	b.busy = false
 	p, res := b.cur, b.curRes
 	b.cur, b.curRes = pending{}, Result{}
+	if b.onTenure != nil {
+		b.onTenure(Tenure{
+			Master:  b.curMaster,
+			Kind:    b.curKind,
+			Addr:    b.curAddr,
+			Start:   b.curStart,
+			End:     now,
+			Aborted: p.txn == nil,
+			Retries: b.curRetries,
+		})
+	}
 	if p.txn == nil {
 		return // aborted tenure
 	}
+	b.mTenure.Observe(now - b.curStart)
+	b.mRetries.Observe(uint64(p.txn.retries))
 	b.stats.Completed++
 	b.log.Addf(now, "bus", "done  %s %s 0x%08x", b.masters[p.txn.Master].name, p.txn.Kind, p.txn.Addr)
 	for _, o := range b.obs {

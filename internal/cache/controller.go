@@ -5,6 +5,7 @@ import (
 
 	"hetcc/internal/bus"
 	"hetcc/internal/coherence"
+	"hetcc/internal/metrics"
 	"hetcc/internal/trace"
 )
 
@@ -85,6 +86,10 @@ type Controller struct {
 	upgradeBase uint32
 	upgradeLive bool
 	upgradeLost bool
+
+	// nil-safe metric instruments (see SetMetrics); latencies in bus cycles.
+	mMissLat  *metrics.Histogram
+	mDrainLat *metrics.Histogram
 }
 
 // NewController wires a controller for cache c on bus b, registering a new
@@ -113,6 +118,14 @@ func NewController(name string, c *Cache, b *bus.Bus, policy Policy, snoops bool
 
 // MasterID returns the bus master id of this controller.
 func (ctl *Controller) MasterID() int { return ctl.masterID }
+
+// SetMetrics attaches the controller to a metrics registry.  Controllers
+// share histogram names, so per-core events aggregate into one platform-wide
+// distribution.  A nil registry leaves the instruments nil (no-op).
+func (ctl *Controller) SetMetrics(r *metrics.Registry) {
+	ctl.mMissLat = r.Histogram("cache.miss.buscycles")
+	ctl.mDrainLat = r.Histogram("cache.drain.buscycles")
+}
 
 // Cache returns the underlying storage array.
 func (ctl *Controller) Cache() *Cache { return ctl.cache }
@@ -238,8 +251,10 @@ func (ctl *Controller) accessWriteThrough(write bool, addr, val uint32, done fun
 	}
 	cfg := ctl.cache.Config()
 	ctl.busy = true
+	start := ctl.bus.Cycle()
 	txn := &bus.Transaction{Master: ctl.masterID, Kind: bus.ReadLine, Addr: cfg.LineAddr(addr), Words: cfg.WordsPerLine()}
 	ctl.bus.Submit(txn, func(res bus.Result) {
+		ctl.mMissLat.Observe(ctl.bus.Cycle() - start)
 		l := ctl.cache.Install(addr, res.Data, coherence.Shared, victim)
 		ctl.busy = false
 		done(l.Data[ctl.cache.WordIndex(addr)])
@@ -307,8 +322,10 @@ func (ctl *Controller) missFill(write bool, addr, val uint32, done func(uint32))
 		kind = bus.ReadLineOwn
 	}
 	base := cfg.LineAddr(addr)
+	start := ctl.bus.Cycle()
 	txn := &bus.Transaction{Master: ctl.masterID, Kind: kind, Addr: base, Words: cfg.WordsPerLine()}
 	ctl.bus.Submit(txn, func(res bus.Result) {
+		ctl.mMissLat.Observe(ctl.bus.Cycle() - start)
 		shared := ctl.policy.OverrideShared(res.Shared)
 		var st coherence.State
 		if write && !proto.UpdateBased() {
@@ -352,8 +369,10 @@ func (ctl *Controller) evict(l *Line) {
 		data := make([]uint32, len(l.Data))
 		copy(data, l.Data)
 		ctl.pendingWB[base] = data
+		start := ctl.bus.Cycle()
 		txn := &bus.Transaction{Master: ctl.masterID, Kind: bus.WriteLine, Addr: base, Data: data}
 		ctl.bus.Submit(txn, func(bus.Result) {
+			ctl.mDrainLat.Observe(ctl.bus.Cycle() - start)
 			delete(ctl.pendingWB, base)
 		})
 	}
@@ -405,8 +424,10 @@ func (ctl *Controller) Clean(addr uint32, done func()) Status {
 	copy(data, l.Data)
 	ctl.pendingWB[base] = data
 	ctl.invalidateLine(l)
+	start := ctl.bus.Cycle()
 	txn := &bus.Transaction{Master: ctl.masterID, Kind: bus.WriteLine, Addr: base, Data: data}
 	ctl.bus.Submit(txn, func(bus.Result) {
+		ctl.mDrainLat.Observe(ctl.bus.Cycle() - start)
 		delete(ctl.pendingWB, base)
 		if done != nil {
 			done()
@@ -472,8 +493,10 @@ func (ctl *Controller) SnoopBus(t *bus.Transaction) bus.SnoopReply {
 		l.flushNext = out.Next
 		data := make([]uint32, len(l.Data))
 		copy(data, l.Data)
+		start := ctl.bus.Cycle()
 		txn := &bus.Transaction{Master: ctl.masterID, Kind: bus.WriteLine, Addr: l.Base, Data: data}
 		ctl.bus.SubmitFlush(txn, func(bus.Result) {
+			ctl.mDrainLat.Observe(ctl.bus.Cycle() - start)
 			l.flushPending = false
 			l.State = l.flushNext
 			if l.State == coherence.Invalid && ctl.upgradeLive && l.Base == ctl.upgradeBase {

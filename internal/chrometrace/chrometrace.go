@@ -1,0 +1,141 @@
+// Package chrometrace exports simulation activity in the Chrome trace-event
+// ("catapult") JSON format, loadable in Perfetto (https://ui.perfetto.dev)
+// and chrome://tracing.
+//
+// Two sources feed the export:
+//
+//   - trace.Log events become instant events ("ph":"i"), one lane (tid) per
+//     emitting unit;
+//   - bus tenure spans (package bus) become complete events ("ph":"X") with
+//     a duration, one lane per bus master, so contention, ARTRY storms and
+//     back-to-back tenures are visible on the timeline.
+//
+// Timestamps are microseconds at the paper's clocking: the engine advances
+// at 100 MHz, so one engine cycle is 0.01 us.
+package chrometrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"hetcc/internal/bus"
+	"hetcc/internal/trace"
+)
+
+// EngineCyclesPerMicrosecond converts engine cycles (100 MHz) to trace
+// timestamps (microseconds).
+const EngineCyclesPerMicrosecond = 100.0
+
+// Event is one trace-event record.  Every event carries the five keys the
+// format requires ("ph", "ts", "pid", "tid", "name"); complete events add
+// "dur".
+type Event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Process ids used in the export.
+const (
+	// PidBus groups bus-tenure spans, one tid per bus master.
+	PidBus = 1
+	// PidLog groups trace.Log instant events, one tid per unit.
+	PidLog = 2
+)
+
+func usAt(cycle uint64) float64 { return float64(cycle) / EngineCyclesPerMicrosecond }
+
+// meta builds a process/thread naming metadata event ("ph":"M").
+func meta(kind string, pid, tid int, label string) Event {
+	return Event{Name: kind, Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": label}}
+}
+
+// FromTenures converts bus tenure spans into complete events, one lane per
+// master.  masterName labels the lanes (nil falls back to "master N").
+func FromTenures(tenures []bus.Tenure, masterName func(id int) string) []Event {
+	if len(tenures) == 0 {
+		return nil
+	}
+	events := []Event{meta("process_name", PidBus, 0, "bus tenures")}
+	seen := map[int]bool{}
+	for _, t := range tenures {
+		if !seen[t.Master] {
+			seen[t.Master] = true
+			label := fmt.Sprintf("master %d", t.Master)
+			if masterName != nil {
+				label = masterName(t.Master)
+			}
+			events = append(events, meta("thread_name", PidBus, t.Master, label))
+		}
+		name := t.Kind.String()
+		if t.Aborted {
+			name = "ARTRY " + name
+		}
+		dur := usAt(t.End) - usAt(t.Start)
+		events = append(events, Event{
+			Name: name,
+			Ph:   "X",
+			Ts:   usAt(t.Start),
+			Dur:  &dur,
+			Pid:  PidBus,
+			Tid:  t.Master,
+			Args: map[string]any{
+				"addr":    fmt.Sprintf("0x%08x", t.Addr),
+				"retries": t.Retries,
+				"aborted": t.Aborted,
+			},
+		})
+	}
+	return events
+}
+
+// FromLog converts retained trace.Log events into instant events, one lane
+// per emitting unit (lanes are allocated in sorted unit order so the export
+// is deterministic).
+func FromLog(l *trace.Log) []Event {
+	evs := l.Events()
+	if len(evs) == 0 {
+		return nil
+	}
+	units := map[string]int{}
+	for _, e := range evs {
+		if _, ok := units[e.Unit]; !ok {
+			units[e.Unit] = 0
+		}
+	}
+	names := make([]string, 0, len(units))
+	for u := range units {
+		names = append(names, u)
+	}
+	sort.Strings(names)
+	events := []Event{meta("process_name", PidLog, 0, "trace log")}
+	for tid, u := range names {
+		units[u] = tid
+		events = append(events, meta("thread_name", PidLog, tid, u))
+	}
+	for _, e := range evs {
+		events = append(events, Event{
+			Name: e.Msg,
+			Ph:   "i",
+			Ts:   usAt(e.Cycle),
+			Pid:  PidLog,
+			Tid:  units[e.Unit],
+			Args: map[string]any{"s": "t"},
+		})
+	}
+	return events
+}
+
+// Write emits events as a JSON array (the trace-event "array format", which
+// Perfetto and chrome://tracing both accept).
+func Write(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(events)
+}

@@ -1,0 +1,100 @@
+package chrometrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"hetcc/internal/bus"
+	"hetcc/internal/trace"
+)
+
+// requireKeys asserts every encoded event carries the five keys the trace-
+// event format requires.
+func requireKeys(t *testing.T, events []Event) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var raw []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatalf("trace is not a JSON array of objects: %v", err)
+	}
+	for i, e := range raw {
+		for _, k := range []string{"ph", "ts", "pid", "tid", "name"} {
+			if _, ok := e[k]; !ok {
+				t.Fatalf("event %d missing required key %q: %v", i, k, e)
+			}
+		}
+	}
+}
+
+func TestFromTenures(t *testing.T) {
+	tenures := []bus.Tenure{
+		{Master: 0, Kind: bus.ReadLine, Addr: 0x1000_0000, Start: 100, End: 130},
+		{Master: 1, Kind: bus.WriteLine, Addr: 0x1000_0020, Start: 130, End: 150, Aborted: true, Retries: 2},
+	}
+	events := FromTenures(tenures, func(m int) string { return map[int]string{0: "ppc", 1: "arm"}[m] })
+	requireKeys(t, events)
+
+	var spans []Event
+	for _, e := range events {
+		if e.Ph == "X" {
+			spans = append(spans, e)
+		}
+	}
+	if len(spans) != 2 {
+		t.Fatalf("%d spans, want 2", len(spans))
+	}
+	// 100 engine cycles per microsecond: cycle 100 is ts 1.0 us.
+	if spans[0].Ts != 1.0 || math.Abs(*spans[0].Dur-0.3) > 1e-9 {
+		t.Fatalf("span 0 ts=%v dur=%v, want 1.0/0.3", spans[0].Ts, *spans[0].Dur)
+	}
+	if spans[1].Name != "ARTRY "+bus.WriteLine.String() {
+		t.Fatalf("aborted span named %q", spans[1].Name)
+	}
+	// One thread_name metadata lane per master, labelled by the callback.
+	labels := map[string]bool{}
+	for _, e := range events {
+		if e.Ph == "M" && e.Name == "thread_name" {
+			labels[e.Args["name"].(string)] = true
+		}
+	}
+	if !labels["ppc"] || !labels["arm"] {
+		t.Fatalf("lane labels %v", labels)
+	}
+	if FromTenures(nil, nil) != nil {
+		t.Fatal("empty tenures should export nothing")
+	}
+}
+
+func TestFromLog(t *testing.T) {
+	l := trace.NewLog(0)
+	l.Addf(200, "bus", "grant m0")
+	l.Addf(250, "cache0", "fill 0x100")
+	l.Addf(300, "bus", "done")
+	events := FromLog(l)
+	requireKeys(t, events)
+
+	var instants []Event
+	for _, e := range events {
+		if e.Ph == "i" {
+			instants = append(instants, e)
+		}
+	}
+	if len(instants) != 3 {
+		t.Fatalf("%d instants, want 3", len(instants))
+	}
+	if instants[0].Ts != 2.0 {
+		t.Fatalf("ts %v, want 2.0 us", instants[0].Ts)
+	}
+	// Lanes are allocated in sorted unit order: bus=0, cache0=1.
+	if instants[0].Tid != 0 || instants[1].Tid != 1 {
+		t.Fatalf("tids %d/%d, want 0/1", instants[0].Tid, instants[1].Tid)
+	}
+	if FromLog(nil) != nil {
+		t.Fatal("nil log should export nothing")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"hetcc/internal/cache"
 	"hetcc/internal/isa"
 	"hetcc/internal/lock"
+	"hetcc/internal/metrics"
 	"hetcc/internal/snooplogic"
 )
 
@@ -129,6 +130,7 @@ type CPU struct {
 	lockPending *lock.MemOp
 	lockLast    uint32
 	releasing   bool
+	lockStart   uint64 // engine cycle the in-flight acquisition began
 
 	locksHeld  int
 	fiqs       []fiqEntry
@@ -139,6 +141,13 @@ type CPU struct {
 
 	onHalt func(id int)
 	stats  Stats
+
+	// mLockAcq observes engine cycles from the first acquisition step to
+	// lock ownership (nil-safe; see SetMetrics).
+	mLockAcq *metrics.Histogram
+	// mISR observes engine cycles per interrupt-drain (ISR entry to exit).
+	mISR     *metrics.Histogram
+	isrStart uint64
 }
 
 // New builds a core.  ctl is its cache controller (also the path for
@@ -153,6 +162,14 @@ func New(cfg Config, id int, ctl *cache.Controller, attr AttrFunc, locks *lock.M
 
 // SetHooks installs load/store observers.
 func (c *CPU) SetHooks(h Hooks) { c.hooks = h }
+
+// SetMetrics attaches the core to a metrics registry.  Cores share
+// histogram names, so acquisitions aggregate platform-wide.  A nil registry
+// leaves the instruments nil (no-op).
+func (c *CPU) SetMetrics(r *metrics.Registry) {
+	c.mLockAcq = r.Histogram("lock.acquire.enginecycles")
+	c.mISR = r.Histogram("cpu.isr.enginecycles")
+}
 
 // OnHalt installs the halt notification used by the platform to stop the
 // engine when every core has retired its program.
@@ -278,6 +295,7 @@ func (c *CPU) halt(now uint64) {
 func (c *CPU) enterISR(now uint64, base uint32) {
 	c.stats.ISRRuns++
 	c.isr = isrClean
+	c.isrStart = now
 	c.isrLine = base
 	c.savedDelay = c.delay
 	c.delay = c.cfg.ISREntry
@@ -307,6 +325,7 @@ func (c *CPU) stepISR(now uint64) {
 		if c.snoop != nil {
 			c.snoop.Complete(c.isrLine, c.isrFound)
 		}
+		c.mISR.Observe(now - c.isrStart)
 		c.isr = isrIdle
 		// Resume the computation the interrupt preempted.
 		c.delay = c.savedDelay
@@ -467,6 +486,7 @@ func (c *CPU) stepLock(now uint64, release bool, lockID int) {
 			c.lockStep = c.locks.Release(c.id, lockID)
 		} else {
 			c.lockStep = c.locks.Acquire(c.id, lockID)
+			c.lockStart = now
 		}
 		c.lockLast = 0
 		c.lockPending = nil
@@ -482,6 +502,7 @@ func (c *CPU) stepLock(now uint64, release bool, lockID int) {
 			} else {
 				c.stats.LockAcquires++
 				c.locksHeld++
+				c.mLockAcq.Observe(now - c.lockStart)
 			}
 			c.lockStep = nil
 			c.retire()

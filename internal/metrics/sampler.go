@@ -1,0 +1,119 @@
+package metrics
+
+// Sampler is a windowed time-series recorder.  The platform registers it
+// with the simulation engine so Tick fires on engine cycles; every window
+// cycles the sampler evaluates its probes and appends one point per series.
+//
+// Two probe flavours exist:
+//
+//   - Delta probes read a cumulative quantity (a Stats counter) and record
+//     the per-window increase — e.g. ARTRY retries per 10k-cycle window;
+//   - Level probes record the probe value as-is — e.g. queue depth.
+//
+// Probes are evaluated in registration order, and the final partial window
+// is flushed by the platform at the end of the run, so short runs still
+// produce at least one point.
+type Sampler struct {
+	window    uint64
+	lastFlush uint64
+	series    []*timeSeries
+}
+
+// ProbeFunc reads one quantity from the simulated system.
+type ProbeFunc func() float64
+
+type timeSeries struct {
+	name  string
+	probe ProbeFunc
+	delta bool
+	prev  float64
+	pts   []Point
+}
+
+// Point is one time-series sample: the value over (or at) the window ending
+// at engine cycle Cycle.
+type Point struct {
+	Cycle uint64  `json:"cycle"`
+	Value float64 `json:"value"`
+}
+
+// SeriesSnapshot is the serialisable view of one time series.
+type SeriesSnapshot struct {
+	// WindowCycles is the sampling period in engine cycles.
+	WindowCycles uint64  `json:"window_cycles"`
+	Points       []Point `json:"points"`
+}
+
+func (s *timeSeries) snapshot(window uint64) SeriesSnapshot {
+	pts := make([]Point, len(s.pts))
+	copy(pts, s.pts)
+	return SeriesSnapshot{WindowCycles: window, Points: pts}
+}
+
+// NewSampler creates a sampler flushing every window engine cycles and
+// attaches it to the registry snapshot.  Returns nil on a nil registry or a
+// non-positive window.
+func (r *Registry) NewSampler(window uint64) *Sampler {
+	if r == nil || window == 0 {
+		return nil
+	}
+	s := &Sampler{window: window}
+	r.samplers = append(r.samplers, s)
+	return s
+}
+
+// Delta registers a windowed-increase series over a cumulative probe.  Safe
+// on a nil sampler.
+func (s *Sampler) Delta(name string, probe ProbeFunc) {
+	if s == nil {
+		return
+	}
+	s.series = append(s.series, &timeSeries{name: name, probe: probe, delta: true})
+}
+
+// Level registers an as-is series (the probe value is recorded unchanged).
+// Safe on a nil sampler.
+func (s *Sampler) Level(name string, probe ProbeFunc) {
+	if s == nil {
+		return
+	}
+	s.series = append(s.series, &timeSeries{name: name, probe: probe})
+}
+
+// Tick implements the engine's Ticker contract (without importing sim).
+// The platform registers the sampler with divisor == window, so Tick fires
+// exactly on window boundaries; the now == 0 tick is skipped because no
+// cycles have elapsed yet.
+func (s *Sampler) Tick(now uint64) {
+	if s == nil || now == 0 {
+		return
+	}
+	s.Flush(now)
+}
+
+// Flush closes the window ending at engine cycle now, appending one point
+// per series.  Flushing twice at the same cycle, or flushing an empty
+// window, is a no-op.  Safe on a nil sampler.
+func (s *Sampler) Flush(now uint64) {
+	if s == nil || now <= s.lastFlush {
+		return
+	}
+	s.lastFlush = now
+	for _, se := range s.series {
+		v := se.probe()
+		if se.delta {
+			d := v - se.prev
+			se.prev = v
+			v = d
+		}
+		se.pts = append(se.pts, Point{Cycle: now, Value: v})
+	}
+}
+
+// Window returns the sampling period in engine cycles (0 for nil).
+func (s *Sampler) Window() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.window
+}

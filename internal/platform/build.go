@@ -12,6 +12,7 @@ import (
 	"hetcc/internal/isa"
 	"hetcc/internal/lock"
 	"hetcc/internal/memory"
+	"hetcc/internal/metrics"
 	"hetcc/internal/periph"
 	"hetcc/internal/sim"
 	"hetcc/internal/snooplogic"
@@ -47,7 +48,11 @@ type Platform struct {
 	Console     *periph.Console
 	DMA         *dma.Engine // non-nil when Config.DMA is set
 	Log         *trace.Log
+	// Metrics is the run's metrics registry (nil unless Config.Metrics).
+	Metrics *metrics.Registry
 
+	sampler *metrics.Sampler
+	tenures []bus.Tenure
 	checker *checker
 	vcd     *vcdProbe
 	halted  int
@@ -99,6 +104,18 @@ func Build(cfg Config) (*Platform, error) {
 		Memory:      mem,
 		Integration: integ,
 		Log:         log,
+	}
+
+	if cfg.Metrics {
+		p.Metrics = metrics.NewRegistry()
+	}
+	b.SetMetrics(p.Metrics)
+	if p.Metrics != nil {
+		b.OnTenure(func(t bus.Tenure) {
+			if len(p.tenures) < maxTenures {
+				p.tenures = append(p.tenures, t)
+			}
+		})
 	}
 
 	// Lock subsystem: each lock id gets its own 256-byte block of the
@@ -204,6 +221,10 @@ func Build(cfg Config) (*Platform, error) {
 		}
 		snoops := hwCoherence && spec.Protocol != coherence.None
 		ctl := cache.NewController(spec.Model, arr, b, policy, snoops, log)
+		ctl.SetMetrics(p.Metrics)
+		if w != nil {
+			w.SetMetrics(p.Metrics)
+		}
 		if hwCoherence && spec.WrapperLatency > 0 {
 			b.SetMasterLatency(ctl.MasterID(), spec.WrapperLatency)
 		}
@@ -221,6 +242,7 @@ func Build(cfg Config) (*Platform, error) {
 			// entry per line; stale entries beyond that are flushed
 			// through the ISR.
 			sl.SetCapacity(spec.Cache.SizeBytes / spec.Cache.LineBytes)
+			sl.SetMetrics(p.Metrics)
 		}
 
 		c := cpu.New(cpu.Config{
@@ -235,6 +257,7 @@ func Build(cfg Config) (*Platform, error) {
 		if sl != nil {
 			sl.SetFIQRaiser(c)
 		}
+		c.SetMetrics(p.Metrics)
 		if p.checker != nil {
 			c.SetHooks(cpu.Hooks{OnLoad: p.checker.onLoad, OnStore: p.checker.onStore})
 		}
@@ -283,6 +306,36 @@ func Build(cfg Config) (*Platform, error) {
 	engine.Register("timer", cfg.BusClockDiv*2, sim.TickFunc(p.Timer.Tick))
 	if p.DMA != nil {
 		engine.Register("dma", cfg.BusClockDiv, p.DMA)
+	}
+	if p.Metrics != nil {
+		window := cfg.MetricsWindow
+		if window == 0 {
+			window = DefaultMetricsWindow
+		}
+		s := p.Metrics.NewSampler(window)
+		// Bus utilization: busy bus cycles this window over the bus cycles
+		// the window spans (window engine cycles / BusClockDiv).
+		busCyclesPerWindow := float64(window / cfg.BusClockDiv)
+		var prevBusy uint64
+		s.Level("bus.utilization", func() float64 {
+			busy := b.Stats().BusyCycles
+			u := float64(busy-prevBusy) / busCyclesPerWindow
+			prevBusy = busy
+			return u
+		})
+		s.Delta("bus.artry.retries", func() float64 { return float64(b.Stats().Aborted) })
+		s.Delta("bus.completed", func() float64 { return float64(b.Stats().Completed) })
+		s.Delta("snoop.cam.hits", func() float64 {
+			var hits uint64
+			for _, sl := range p.SnoopLogics {
+				if sl != nil {
+					hits += sl.Stats().Hits
+				}
+			}
+			return float64(hits)
+		})
+		p.sampler = s
+		engine.Register("metrics", window, s)
 	}
 	if cfg.VCD != nil {
 		probe, err := newVCDProbe(p, cfg.VCD)

@@ -19,6 +19,15 @@ import (
 	"hetcc/internal/memory"
 )
 
+// DefaultMetricsWindow is the time-series sampling window when
+// Config.Metrics is on and Config.MetricsWindow is zero: 10,000 engine
+// cycles = 100 us at the paper's 100 MHz engine clock.
+const DefaultMetricsWindow uint64 = 10_000
+
+// maxTenures bounds the bus-tenure span collection used by the Chrome-trace
+// export, so metrics-enabled runs cannot grow memory without bound.
+const maxTenures = 1 << 18
+
 // Address map.  Regions are deliberately far apart so a line can never
 // straddle two regions.
 const (
@@ -269,6 +278,14 @@ type Config struct {
 	RaceCheck bool
 	// TraceCap enables the event trace, bounded to this many events.
 	TraceCap int
+	// Metrics enables the unified metrics layer: latency histograms on the
+	// bus/cache/snoop/lock hot paths, windowed time series, and bus tenure
+	// spans for the Chrome-trace export.  Off by default; the disabled path
+	// costs nothing measurable (nil-safe instruments).
+	Metrics bool
+	// MetricsWindow is the time-series sampling window in engine cycles
+	// (default 10,000 = 100 us at the paper's 100 MHz clocking).
+	MetricsWindow uint64
 	// DeadlockThreshold overrides the bus livelock detector bound.
 	DeadlockThreshold int
 	// DMA adds the coherent DMA engine (register bank at DMABase).

@@ -1,0 +1,123 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hetcc/internal/bus"
+	"hetcc/internal/cache"
+	"hetcc/internal/cpu"
+	"hetcc/internal/metrics"
+	"hetcc/internal/snooplogic"
+)
+
+// ReportSchema identifies the machine-readable run-report format; consumers
+// should check it (and ReportSchemaVersion) before interpreting the rest.
+const ReportSchema = "hetcc.run-report"
+
+// ReportSchemaVersion is bumped on any incompatible change to Report.
+const ReportSchemaVersion = 1
+
+// Report is the machine-readable summary of one simulation run, written by
+// the -report flag of cmd/hetccsim.  It is deliberately free of wall-clock
+// timestamps so identical runs produce byte-identical reports (golden-file
+// tests rely on this).
+type Report struct {
+	Schema        string `json:"schema"`
+	SchemaVersion int    `json:"schema_version"`
+
+	// Scenario and Solution record what was run.
+	Scenario string `json:"scenario,omitempty"`
+	Solution string `json:"solution"`
+	// Platform lists the processor models in bus-priority order.
+	Platform []string `json:"platform"`
+	// EffectiveProtocol is the reduced protocol the system behaves as.
+	EffectiveProtocol string `json:"effective_protocol"`
+
+	// Cycles is the engine cycle count at termination; BusCycles the bus
+	// clock's count.
+	Cycles     uint64 `json:"cycles"`
+	BusCycles  uint64 `json:"bus_cycles"`
+	StopReason string `json:"stop_reason"`
+	Error      string `json:"error,omitempty"`
+	Deadlocked bool   `json:"deadlocked"`
+	Coherent   bool   `json:"coherent"`
+
+	Violations []string `json:"violations,omitempty"`
+	Races      []string `json:"races,omitempty"`
+
+	Bus   bus.Stats    `json:"bus"`
+	Cores []CoreReport `json:"cores"`
+
+	// Metrics is the registry snapshot: counters, gauges, histogram
+	// summaries (p50/p95/p99) and the sampled time series.  Nil when the
+	// run had metrics disabled.
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+}
+
+// CoreReport is the per-processor slice of a Report.
+type CoreReport struct {
+	Name               string            `json:"name"`
+	CPU                cpu.Stats         `json:"cpu"`
+	Cache              cache.Stats       `json:"cache"`
+	Snoop              *snooplogic.Stats `json:"snoop,omitempty"`
+	WrapperConversions uint64            `json:"wrapper_conversions"`
+}
+
+// Report builds the machine-readable summary of res.  scenario labels the
+// workload (may be empty).
+func (p *Platform) Report(res Result, scenario string) Report {
+	rep := Report{
+		Schema:            ReportSchema,
+		SchemaVersion:     ReportSchemaVersion,
+		Scenario:          scenario,
+		Solution:          p.Config.Solution.String(),
+		EffectiveProtocol: p.Integration.Effective.String(),
+		Cycles:            res.Cycles,
+		BusCycles:         p.Bus.Cycle(),
+		StopReason:        res.StopReason,
+		Deadlocked:        res.Deadlocked(),
+		Coherent:          res.Coherent(),
+		Bus:               res.Bus,
+		Metrics:           res.Metrics,
+	}
+	if res.Err != nil {
+		rep.Error = res.Err.Error()
+	}
+	for _, v := range res.Violations {
+		rep.Violations = append(rep.Violations, v.String())
+	}
+	for _, r := range res.Races {
+		rep.Races = append(rep.Races, r.String())
+	}
+	for i, spec := range p.Config.Processors {
+		cr := CoreReport{Name: spec.Model}
+		if i < len(res.CPU) {
+			cr.CPU = res.CPU[i]
+		}
+		if i < len(res.Cache) {
+			cr.Cache = res.Cache[i]
+		}
+		if p.SnoopLogics[i] != nil && i < len(res.Snoop) {
+			s := res.Snoop[i]
+			cr.Snoop = &s
+		}
+		if i < len(res.WrapperConv) {
+			cr.WrapperConversions = res.WrapperConv[i]
+		}
+		rep.Platform = append(rep.Platform, spec.Model)
+		rep.Cores = append(rep.Cores, cr)
+	}
+	return rep
+}
+
+// WriteReport JSON-encodes rep to w, indented for human inspection.
+func WriteReport(w io.Writer, rep Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	return nil
+}

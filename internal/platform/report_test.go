@@ -1,0 +1,155 @@
+package platform_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	. "hetcc/internal/platform"
+	"hetcc/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden report file")
+
+// runWCSReport runs a small deterministic WCS simulation with metrics on and
+// returns the platform, the result, and the rendered report.
+func runWCSReport(t *testing.T) (*Platform, Result, Report) {
+	t.Helper()
+	p, err := Build(Config{
+		Processors:    PPCARm(),
+		Solution:      Proposed,
+		Lock:          LockChoice{Kind: LockUncachedTAS, Alternate: true, SpinDelay: 4},
+		Verify:        true,
+		Metrics:       true,
+		MetricsWindow: 5_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := workload.Params{Lines: 8, ExecTime: 1, Iterations: 4, WordsPerLine: 8}
+	progs, err := workload.Programs(workload.WCS, params, Proposed, len(p.CPUs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.LoadPrograms(progs); err != nil {
+		t.Fatal(err)
+	}
+	res := p.Run(5_000_000)
+	if res.Err != nil {
+		t.Fatalf("run failed: %v", res.Err)
+	}
+	return p, res, p.Report(res, "wcs")
+}
+
+// TestReportGolden pins the full report for a small WCS run.  The simulator
+// is deterministic and the report carries no wall-clock data, so the JSON
+// must match byte-for-byte.  Refresh with: go test ./internal/platform -run
+// TestReportGolden -update
+func TestReportGolden(t *testing.T) {
+	_, _, rep := runWCSReport(t)
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "wcs_report.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("report drifted from golden file (re-run with -update if intended)\ngot:\n%s", buf.String())
+	}
+}
+
+// TestReportRoundTrip checks the report unmarshals, carries the schema
+// version, and reproduces the Result counters exactly.
+func TestReportRoundTrip(t *testing.T) {
+	p, res, rep := runWCSReport(t)
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not unmarshal: %v", err)
+	}
+	if back.Schema != ReportSchema || back.SchemaVersion != ReportSchemaVersion {
+		t.Fatalf("schema %q v%d, want %q v%d", back.Schema, back.SchemaVersion, ReportSchema, ReportSchemaVersion)
+	}
+	if back.Cycles != res.Cycles {
+		t.Fatalf("cycles %d != %d", back.Cycles, res.Cycles)
+	}
+	if back.Bus != res.Bus {
+		t.Fatalf("bus stats drifted:\n%+v\n%+v", back.Bus, res.Bus)
+	}
+	if len(back.Cores) != len(p.CPUs) {
+		t.Fatalf("%d cores, want %d", len(back.Cores), len(p.CPUs))
+	}
+	for i, cr := range back.Cores {
+		if cr.CPU != res.CPU[i] {
+			t.Fatalf("core %d cpu stats drifted", i)
+		}
+		if cr.Cache != res.Cache[i] {
+			t.Fatalf("core %d cache stats drifted", i)
+		}
+		if cr.WrapperConversions != res.WrapperConv[i] {
+			t.Fatalf("core %d conversions drifted", i)
+		}
+		if sl := p.SnoopLogics[i]; sl != nil {
+			if cr.Snoop == nil || *cr.Snoop != res.Snoop[i] {
+				t.Fatalf("core %d snoop stats drifted", i)
+			}
+		} else if cr.Snoop != nil {
+			t.Fatalf("core %d has snoop stats but no snoop logic", i)
+		}
+	}
+	if !back.Coherent {
+		t.Fatal("proposed run reported incoherent")
+	}
+}
+
+// TestReportMetricsContent checks the acceptance-criteria content: the three
+// headline histograms populated with non-zero quantiles, and a multi-window
+// bus-utilization series.
+func TestReportMetricsContent(t *testing.T) {
+	_, res, rep := runWCSReport(t)
+	if rep.Metrics == nil {
+		t.Fatal("metrics missing from report")
+	}
+	for _, name := range []string{"bus.grant.wait.buscycles", "cache.miss.buscycles", "lock.acquire.enginecycles"} {
+		h, ok := rep.Metrics.Histograms[name]
+		if !ok {
+			t.Fatalf("histogram %q missing (have %v)", name, rep.Metrics.Histograms)
+		}
+		if h.Count == 0 || h.P50 <= 0 || h.P95 <= 0 || h.P99 <= 0 {
+			t.Fatalf("histogram %q not populated: %+v", name, h)
+		}
+	}
+	util, ok := rep.Metrics.Series["bus.utilization"]
+	if !ok || len(util.Points) < 2 {
+		t.Fatalf("bus.utilization has %d windows, want >= 2", len(util.Points))
+	}
+	for _, pt := range util.Points {
+		if pt.Value < 0 || pt.Value > 1.5 {
+			t.Fatalf("utilization %v out of range at cycle %d", pt.Value, pt.Cycle)
+		}
+	}
+	if len(res.Tenures) == 0 {
+		t.Fatal("no bus tenures captured")
+	}
+	last := res.Tenures[len(res.Tenures)-1]
+	if last.End <= last.Start || last.End > res.Cycles {
+		t.Fatalf("tenure span out of range: %+v (run %d cycles)", last, res.Cycles)
+	}
+}

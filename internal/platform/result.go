@@ -8,6 +8,7 @@ import (
 	"hetcc/internal/bus"
 	"hetcc/internal/cache"
 	"hetcc/internal/cpu"
+	"hetcc/internal/metrics"
 	"hetcc/internal/sim"
 	"hetcc/internal/snooplogic"
 )
@@ -105,6 +106,13 @@ type Result struct {
 	// Races lists shared accesses performed outside critical sections
 	// (reported only when RaceCheck was enabled).
 	Races []Race
+
+	// Metrics is the final registry snapshot (nil unless Config.Metrics).
+	Metrics *metrics.Snapshot
+	// Tenures lists the bus tenure spans observed during the run (captured
+	// only when Config.Metrics is on; bounded, see maxTenures).  The
+	// Chrome-trace exporter turns them into duration events.
+	Tenures []bus.Tenure
 }
 
 // Deadlocked reports whether the run ended in the paper's hardware
@@ -144,6 +152,13 @@ func (p *Platform) Run(maxCycles uint64) Result {
 	}
 	if err != nil && errors.Is(err, sim.ErrMaxCycles) && p.Bus.Deadlocked() {
 		res.Err = bus.ErrHardwareDeadlock
+	}
+	if p.sampler != nil {
+		p.sampler.Flush(p.Engine.Now()) // final partial window
+	}
+	if p.Metrics != nil {
+		res.Metrics = p.Metrics.Snapshot()
+		res.Tenures = p.tenures
 	}
 	if p.vcd != nil {
 		_ = p.vcd.w.Close(p.Engine.Now())

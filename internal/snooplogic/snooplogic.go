@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"hetcc/internal/bus"
+	"hetcc/internal/metrics"
 	"hetcc/internal/trace"
 )
 
@@ -64,6 +65,12 @@ type SnoopLogic struct {
 	fiq     FIQRaiser
 	log     *trace.Log
 	stats   Stats
+
+	// hitCycle records the bus cycle of each outstanding snoop hit so the
+	// drain-duration histogram can be observed at ISR completion.
+	hitCycle map[uint32]uint64
+	mHits    *metrics.Counter
+	mDrain   *metrics.Histogram
 }
 
 // New creates the snoop logic for the processor whose cache controller owns
@@ -79,6 +86,7 @@ func New(name string, b *bus.Bus, owner int, lineBytes int, fiq FIQRaiser, log *
 		cam:       make(map[uint32]bool),
 		pending:   make(map[uint32]bool),
 		retried:   make(map[uint32]int),
+		hitCycle:  make(map[uint32]uint64),
 		fiq:       fiq,
 		log:       log,
 	}
@@ -98,6 +106,13 @@ func (sl *SnoopLogic) SetCapacity(n int) { sl.capacity = n }
 // Stats returns a copy of the counters.
 func (sl *SnoopLogic) Stats() Stats { return sl.stats }
 
+// SetMetrics attaches the snoop logic to a metrics registry.  A nil
+// registry leaves the instruments nil (no-op).
+func (sl *SnoopLogic) SetMetrics(r *metrics.Registry) {
+	sl.mHits = r.Counter("snoop.cam.hits")
+	sl.mDrain = r.Histogram("snoop.drain.buscycles")
+}
+
 func (sl *SnoopLogic) align(addr uint32) uint32 {
 	return addr &^ (sl.lineBytes - 1)
 }
@@ -115,7 +130,9 @@ func (sl *SnoopLogic) SnoopBus(t *bus.Transaction) bus.SnoopReply {
 		return bus.SnoopReply{}
 	}
 	sl.stats.Hits++
+	sl.mHits.Inc()
 	sl.pending[base] = true
+	sl.hitCycle[base] = sl.bus.Cycle()
 	sl.retried[base] = t.Master
 	sl.log.Addf(0, sl.name, "snoop hit 0x%08x -> nFIQ", base)
 	if sl.fiq != nil {
@@ -165,6 +182,7 @@ func (sl *SnoopLogic) overflow() {
 		}
 		sl.stats.OverflowFlushes++
 		sl.pending[victim] = true
+		sl.hitCycle[victim] = sl.bus.Cycle()
 		if sl.fiq != nil {
 			sl.fiq.RaiseFIQ(victim)
 		}
@@ -189,6 +207,10 @@ func (sl *SnoopLogic) NoteInvalidate(addr uint32) {
 func (sl *SnoopLogic) Complete(lineBase uint32, wasResident bool) {
 	base := sl.align(lineBase)
 	delete(sl.pending, base)
+	if start, ok := sl.hitCycle[base]; ok {
+		sl.mDrain.Observe(sl.bus.Cycle() - start)
+		delete(sl.hitCycle, base)
+	}
 	if m, ok := sl.retried[base]; ok {
 		// Hand the bus straight back to the master the ISR was blocking so
 		// its retry wins before this core can re-cache the line.

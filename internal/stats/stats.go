@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"unicode/utf8"
 )
 
 // Ratio returns cycles/baseline — the "ratio of execution time" plotted in
@@ -66,12 +67,12 @@ func (t *Table) Render(w io.Writer) {
 	}
 	widths := make([]int, len(t.Headers))
 	for i, h := range t.Headers {
-		widths[i] = len(h)
+		widths[i] = utf8.RuneCountInString(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
+			if w := utf8.RuneCountInString(c); i < len(widths) && w > widths[i] {
+				widths[i] = w
 			}
 		}
 	}
@@ -138,9 +139,12 @@ func (t *Table) String() string {
 	return sb.String()
 }
 
+// pad right-pads s to a display width of w, counting runes rather than
+// bytes so multi-byte cells (e.g. "→" in transition labels) stay aligned.
 func pad(s string, w int) string {
-	if len(s) >= w {
+	n := utf8.RuneCountInString(s)
+	if n >= w {
 		return s
 	}
-	return s + strings.Repeat(" ", w-len(s))
+	return s + strings.Repeat(" ", w-n)
 }

@@ -92,6 +92,39 @@ func TestTableAlignment(t *testing.T) {
 	}
 }
 
+func TestTableAlignmentMultiByte(t *testing.T) {
+	// Regression: Table 2/3 cells like "I→M" are 3 runes but 5 bytes.
+	// Byte-based widths over-padded them, shifting later columns.
+	tb := NewTable("", "op", "states", "next")
+	tb.AddRow("write", "I→M", "x")
+	tb.AddRow("read", "S", "y")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// The third column must start at the same rune offset in every line.
+	col := func(s, sub string) int {
+		idx := strings.Index(s, sub)
+		if idx < 0 {
+			t.Fatalf("%q missing %q", s, sub)
+		}
+		return len([]rune(s[:idx]))
+	}
+	if a, b := col(lines[0], "next"), col(lines[2], "x"); a != b {
+		t.Fatalf("header 'next' at rune %d but row cell at %d:\n%s", a, b, out)
+	}
+	if a, b := col(lines[2], "x"), col(lines[3], "y"); a != b {
+		t.Fatalf("multi-byte cell shifted next column (%d vs %d):\n%s", a, b, out)
+	}
+}
+
+func TestPadCountsRunes(t *testing.T) {
+	if got := pad("I→M", 5); got != "I→M  " {
+		t.Fatalf("pad = %q (len %d bytes)", got, len(got))
+	}
+	if got := pad("abc", 2); got != "abc" {
+		t.Fatalf("over-width pad = %q", got)
+	}
+}
+
 func TestTableRenderMarkdown(t *testing.T) {
 	tb := NewTable("Figure 6", "lines", "ratio")
 	tb.AddRow(32, 0.38)

@@ -25,9 +25,14 @@ func (e Event) String() string {
 // Log is a bounded in-memory event log.  When the bound is exceeded the
 // oldest events are discarded (ring-buffer semantics), so long simulations
 // keep the most recent — and most interesting — history.
+//
+// The bound is a true fixed-capacity ring: once full, each append overwrites
+// the oldest slot in place (head index + wraparound), so steady-state
+// appends are O(1) regardless of the bound.
 type Log struct {
 	events  []Event
 	max     int
+	head    int // index of the oldest retained event once the ring is full
 	dropped uint64
 }
 
@@ -45,12 +50,26 @@ func (l *Log) Addf(cycle uint64, unit, format string, args ...any) {
 	if l == nil {
 		return
 	}
-	l.events = append(l.events, Event{Cycle: cycle, Unit: unit, Msg: fmt.Sprintf(format, args...)})
-	if l.max > 0 && len(l.events) > l.max {
-		n := len(l.events) - l.max
-		l.events = append(l.events[:0], l.events[n:]...)
-		l.dropped += uint64(n)
+	e := Event{Cycle: cycle, Unit: unit, Msg: fmt.Sprintf(format, args...)}
+	if l.max <= 0 || len(l.events) < l.max {
+		l.events = append(l.events, e)
+		return
 	}
+	l.events[l.head] = e
+	l.head++
+	if l.head == l.max {
+		l.head = 0
+	}
+	l.dropped++
+}
+
+// at returns the i-th retained event, oldest first.
+func (l *Log) at(i int) Event {
+	j := l.head + i
+	if j >= len(l.events) {
+		j -= len(l.events)
+	}
+	return l.events[j]
 }
 
 // Events returns the retained events, oldest first.
@@ -59,7 +78,9 @@ func (l *Log) Events() []Event {
 		return nil
 	}
 	out := make([]Event, len(l.events))
-	copy(out, l.events)
+	for i := range out {
+		out[i] = l.at(i)
+	}
 	return out
 }
 
@@ -85,8 +106,8 @@ func (l *Log) WriteTo(w io.Writer) (int64, error) {
 		return 0, nil
 	}
 	var total int64
-	for _, e := range l.events {
-		n, err := io.WriteString(w, e.String()+"\n")
+	for i := 0; i < len(l.events); i++ {
+		n, err := io.WriteString(w, l.at(i).String()+"\n")
 		total += int64(n)
 		if err != nil {
 			return total, err
@@ -101,8 +122,8 @@ func (l *Log) Grep(substr string) []Event {
 		return nil
 	}
 	var out []Event
-	for _, e := range l.events {
-		if strings.Contains(e.Msg, substr) {
+	for i := 0; i < len(l.events); i++ {
+		if e := l.at(i); strings.Contains(e.Msg, substr) {
 			out = append(out, e)
 		}
 	}

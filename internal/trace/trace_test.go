@@ -79,6 +79,40 @@ func TestWriteTo(t *testing.T) {
 	}
 }
 
+func TestRingMultipleWraps(t *testing.T) {
+	l := NewLog(4)
+	for i := 0; i < 103; i++ { // 103 % 4 != 0, so head ends mid-ring
+		l.Addf(uint64(i), "u", "e%d", i)
+	}
+	evs := l.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(99 + i); e.Cycle != want {
+			t.Fatalf("event %d has cycle %d, want %d (oldest-first order broken)", i, e.Cycle, want)
+		}
+	}
+	if l.Dropped() != 99 {
+		t.Fatalf("dropped %d, want 99", l.Dropped())
+	}
+}
+
+// BenchmarkLogAddf measures the steady-state (ring already full) append
+// path.  With the head-index ring this is O(1) per append — no copying or
+// re-slicing; the pre-refactor compaction made it O(n) in the bound.
+func BenchmarkLogAddf(b *testing.B) {
+	l := NewLog(4096)
+	for i := 0; i < 4096; i++ { // fill the ring so every timed append wraps
+		l.Addf(uint64(i), "bus", "warm")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Addf(uint64(i), "bus", "grant m%d", i&3)
+	}
+}
+
 func TestEventString(t *testing.T) {
 	e := Event{Cycle: 7, Unit: "bus", Msg: "x"}
 	if s := e.String(); !strings.Contains(s, "7") || !strings.Contains(s, "bus") {

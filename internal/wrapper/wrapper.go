@@ -16,6 +16,7 @@ import (
 	"hetcc/internal/cache"
 	"hetcc/internal/coherence"
 	"hetcc/internal/core"
+	"hetcc/internal/metrics"
 )
 
 // Wrapper implements cache.Policy from a core.WrapperPolicy.
@@ -28,6 +29,12 @@ type Wrapper struct {
 	// sampled value.
 	Conversions uint64
 	Overrides   uint64
+
+	// mConvert holds one counter per snoop-op kind actually converted by
+	// the policy, indexed by the observed BusOp; mOverride counts changed
+	// shared-signal samples.  All nil-safe (see SetMetrics).
+	mConvert  map[coherence.BusOp]*metrics.Counter
+	mOverride *metrics.Counter
 }
 
 var _ cache.Policy = (*Wrapper)(nil)
@@ -43,6 +50,23 @@ func (w *Wrapper) Name() string { return w.name }
 // Policy returns the integration policy in force.
 func (w *Wrapper) Policy() core.WrapperPolicy { return w.policy }
 
+// SetMetrics attaches the wrapper to a metrics registry, pre-creating one
+// conversion counter per snoop-op kind the policy actually rewrites (e.g.
+// "wrapper.PowerPC755.convert.BusRd→BusRdX").  A nil registry leaves the
+// instruments nil (no-op).
+func (w *Wrapper) SetMetrics(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	w.mConvert = make(map[coherence.BusOp]*metrics.Counter)
+	for _, op := range []coherence.BusOp{coherence.BusRd, coherence.BusRdX, coherence.BusUpgr, coherence.BusUpd} {
+		if converted := w.policy.SnoopOp(op); converted != op {
+			w.mConvert[op] = r.Counter(fmt.Sprintf("wrapper.%s.convert.%v→%v", w.name, op, converted))
+		}
+	}
+	w.mOverride = r.Counter(fmt.Sprintf("wrapper.%s.shared.overrides", w.name))
+}
+
 // ConvertSnoop implements cache.Policy: the read-to-write conversion of the
 // paper's Figure 1 (equivalently, asserting the Intel486 INV pin on read
 // snoop cycles).
@@ -50,6 +74,7 @@ func (w *Wrapper) ConvertSnoop(op coherence.BusOp) coherence.BusOp {
 	converted := w.policy.SnoopOp(op)
 	if converted != op {
 		w.Conversions++
+		w.mConvert[op].Inc() // nil map lookup yields a nil (no-op) counter
 	}
 	return converted
 }
@@ -59,6 +84,7 @@ func (w *Wrapper) OverrideShared(shared bool) bool {
 	out := w.policy.ApplyShared(shared)
 	if out != shared {
 		w.Overrides++
+		w.mOverride.Inc()
 	}
 	return out
 }
