@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify bench bench-metrics fmt vet
+.PHONY: all build test verify bench bench-metrics bench-audit fmt vet
 
 all: build
 
@@ -35,3 +35,6 @@ bench:
 bench-metrics:
 	$(GO) test -run xxx -bench 'BenchmarkMetrics(Disabled|Enabled)' -benchmem -count 5 .
 	$(GO) test -run xxx -bench BenchmarkLogAddf -benchmem ./internal/trace
+
+bench-audit:
+	$(GO) test -run xxx -bench 'Benchmark(EventsDisabled|AuditEnabled)' -benchmem -count 5 .

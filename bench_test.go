@@ -218,6 +218,48 @@ func benchMetricsRun(b *testing.B, metrics bool) {
 	}
 }
 
+// BenchmarkEventsDisabled is the guard benchmark for the nil-sink path: the
+// reference WCS run with the coherence event stream off.  Compare against
+// BenchmarkAuditEnabled — with no sink, every emit helper collapses to a
+// nil-receiver branch, so the disabled path must stay within noise of the
+// pre-instrumentation baseline.
+func BenchmarkEventsDisabled(b *testing.B) {
+	benchAuditRun(b, false)
+}
+
+// BenchmarkAuditEnabled measures the same run with the event stream live and
+// the online invariant auditor subscribed (SWMR, dirty-owner, data-value and
+// reduction checks on every state change).
+func BenchmarkAuditEnabled(b *testing.B) {
+	benchAuditRun(b, true)
+}
+
+func benchAuditRun(b *testing.B, audit bool) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(Config{
+			Scenario: WCS,
+			Solution: Proposed,
+			Audit:    audit,
+			Params:   Params{Lines: 16, ExecTime: 2},
+		})
+		if err != nil || res.Err != nil {
+			b.Fatal(err, res.Err)
+		}
+		if audit {
+			if res.Audit == nil {
+				b.Fatal("audit enabled but no summary")
+			}
+			if res.Audit.ViolationCount != 0 {
+				b.Fatalf("audited benchmark run violated invariants: %v", res.Audit.Violations)
+			}
+		} else if res.Audit != nil {
+			b.Fatal("audit disabled but summary present")
+		}
+	}
+}
+
 // BenchmarkModelCheck measures the core verifier on the heaviest mix.
 func BenchmarkModelCheck(b *testing.B) {
 	protos := []coherence.Kind{coherence.MOESI, coherence.MESI, coherence.MSI}

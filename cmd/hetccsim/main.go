@@ -9,6 +9,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +40,8 @@ func main() {
 		penalty      = flag.Int("penalty", 13, "burst miss penalty in bus cycles (paper default 13)")
 		seed         = flag.Uint64("seed", 0, "workload seed (0 = default)")
 		verify       = flag.Bool("verify", true, "run the golden-model staleness checker")
+		auditFlag    = flag.Bool("audit", false, "run the online coherence invariant auditor (SWMR, single dirty owner, data value, reduction-table states)")
+		eventsPath   = flag.String("events", "", "write the typed coherence event stream as JSONL to this file")
 		traceN       = flag.Int("trace", 0, "retain and print the last N trace events")
 		vcdPath      = flag.String("vcd", "", "write an IEEE-1364 waveform dump (GTKWave) to this file")
 		reportPath   = flag.String("report", "", "write a machine-readable JSON run report to this file")
@@ -114,6 +117,16 @@ func main() {
 		fatalIf(err)
 		defer f.Close()
 		cfg.VCD = f
+	}
+	cfg.Audit = *auditFlag
+	var eventsBuf *bufio.Writer
+	var eventsFile *os.File
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
+		fatalIf(err)
+		eventsFile = f
+		eventsBuf = bufio.NewWriter(f)
+		cfg.EventLog = eventsBuf
 	}
 
 	p, err := hetcc.Build(cfg)
@@ -203,6 +216,24 @@ func main() {
 			fmt.Printf("golden-model check: FAIL — %d stale reads, first: %v\n", len(res.Violations), res.Violations[0])
 		}
 	}
+	if a := res.Audit; a != nil {
+		if a.ViolationCount == 0 {
+			fmt.Printf("invariant audit: PASS (%d events, %d state transitions over %d lines)\n",
+				sumCounts(a.Events), a.TransitionCount, len(a.Lines))
+		} else {
+			fmt.Printf("invariant audit: FAIL — %d violations, first: %v\n", a.ViolationCount, a.Violations[0])
+		}
+		for core, states := range a.Reachable {
+			fmt.Printf("  core %d (%s) reachable states: %s\n", core, p.CPUs[core].Name(), strings.Join(states, " "))
+		}
+	}
+	if eventsBuf != nil {
+		fatalIf(eventsBuf.Flush())
+		fatalIf(eventsFile.Close())
+		written, werr := p.EventLogStats()
+		fatalIf(werr)
+		fmt.Printf("event stream: %d JSONL records written to %s\n", written, *eventsPath)
+	}
 
 	if *traceN > 0 && p.Log != nil {
 		fmt.Printf("\nlast %d trace events (%d dropped):\n", p.Log.Len(), p.Log.Dropped())
@@ -226,6 +257,9 @@ func main() {
 			return fmt.Sprintf("master%d", m)
 		})
 		events = append(events, chrometrace.FromLog(p.Log)...)
+		if res.Audit != nil {
+			events = append(events, chrometrace.FromViolations(res.Audit.Violations)...)
+		}
 		f, err := os.Create(*chromePath)
 		fatalIf(err)
 		fatalIf(chrometrace.Write(f, events))
@@ -321,6 +355,14 @@ func parseLock(s string) (platform.LockKind, error) {
 	default:
 		return 0, fmt.Errorf("unknown lock %q", s)
 	}
+}
+
+func sumCounts(m map[string]uint64) uint64 {
+	var total uint64
+	for _, n := range m {
+		total += n
+	}
+	return total
 }
 
 func fatalIf(err error) {

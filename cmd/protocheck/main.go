@@ -9,6 +9,7 @@
 //	protocheck                     # full pairwise matrix
 //	protocheck -protocols MEI,MESI # one combination (2..4 protocols)
 //	protocheck -replay             # also replay Tables 2/3 on the full simulator
+//	protocheck -audit              # machine-verify the reduction table on live runs
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"hetcc"
 	"hetcc/internal/coherence"
 	"hetcc/internal/core"
+	"hetcc/internal/platform"
 	"hetcc/internal/stats"
 )
 
@@ -27,6 +29,7 @@ func main() {
 	var (
 		protoFlag = flag.String("protocols", "", "comma-separated protocol list (MEI, MSI, MESI, MOESI, Dragon); empty = full pairwise matrix")
 		replay    = flag.Bool("replay", false, "replay the paper's Table 2/3 sequences on the cycle-level simulator")
+		auditRun  = flag.Bool("audit", false, "run the protocol-pair matrix and the paper's platforms on the cycle-level simulator with the invariant auditor, checking observed states against the reduction table")
 		dotFlag   = flag.String("dot", "", "print the named protocol's state machine as a Graphviz digraph and exit")
 	)
 	flag.Parse()
@@ -103,6 +106,10 @@ func main() {
 		fmt.Println()
 	}
 
+	if *auditRun {
+		fatalIf(auditMatrix())
+	}
+
 	if *replay {
 		fmt.Println("Replaying the paper's Table 2 and Table 3 sequences on the cycle-level simulator:")
 		for _, n := range []int{2, 3} {
@@ -124,6 +131,118 @@ func main() {
 			fmt.Printf("  stale read without wrappers: %v; with wrappers: %v\n", broken.StaleRead, fixed.StaleRead)
 		}
 	}
+}
+
+// auditMatrix machine-verifies the paper's reduction table on live runs: for
+// every protocol pair (and the three case-study platforms) it simulates a
+// small WCS workload under the proposed solution with the invariant auditor
+// on, then checks that the states each cache actually reached fall inside
+// core.AllowedStates for the reduction — the dynamic counterpart of the
+// static model check above.
+func auditMatrix() error {
+	type combo struct {
+		label string
+		procs []platform.ProcessorSpec
+	}
+	var combos []combo
+	all := []coherence.Kind{coherence.MEI, coherence.MSI, coherence.MESI, coherence.MOESI}
+	for i, a := range all {
+		for j, b := range all {
+			if j < i {
+				continue
+			}
+			combos = append(combos, combo{
+				label: fmt.Sprintf("%v+%v", a, b),
+				procs: []platform.ProcessorSpec{
+					platform.Generic("P0-"+a.String(), a, 1),
+					platform.Generic("P1-"+b.String(), b, 1),
+				},
+			})
+		}
+	}
+	combos = append(combos,
+		combo{label: "PF1 (ARM+ARM)", procs: platform.ARMPair()},
+		combo{label: "PF2 (PPC+ARM)", procs: platform.PPCARm()},
+		combo{label: "PF3 (PPC+i486)", procs: platform.PPCI486()},
+	)
+
+	t := stats.NewTable("Reduction table, machine-verified on live runs (WCS, proposed solution)",
+		"platform", "effective", "P0 observed", "P1 observed", "violations", "verdict")
+	failures := 0
+	for _, c := range combos {
+		res, err := hetcc.Run(hetcc.Config{
+			Scenario:   hetcc.WCS,
+			Solution:   hetcc.Proposed,
+			Processors: c.procs,
+			Params:     hetcc.Params{Lines: 8, ExecTime: 1, Iterations: 4, WordsPerLine: 8},
+			Verify:     true,
+			Audit:      true,
+			MaxCycles:  5_000_000,
+		})
+		if err != nil {
+			return err
+		}
+		if res.Err != nil {
+			return fmt.Errorf("%s: run failed: %w", c.label, res.Err)
+		}
+		a := res.Audit
+		protocols := make([]coherence.Kind, len(c.procs))
+		for i, spec := range c.procs {
+			protocols[i] = spec.Protocol
+		}
+		integ, err := core.Reduce(protocols)
+		if err != nil {
+			return err
+		}
+		verdict := "PASS"
+		if a.ViolationCount > 0 || !res.Coherent() {
+			verdict = "FAIL"
+		}
+		observed := make([]string, len(a.Reachable))
+		for i, states := range a.Reachable {
+			observed[i] = "{" + strings.Join(states, ",") + "}"
+			if !withinAllowed(states, auditAllowed(c.procs[i], integ)) {
+				verdict = "FAIL"
+			}
+		}
+		if verdict == "FAIL" {
+			failures++
+		}
+		t.AddRow(c.label, integ.Effective, observed[0], observed[1], a.ViolationCount, verdict)
+	}
+	t.Render(os.Stdout)
+	if failures > 0 {
+		return fmt.Errorf("%d platform(s) violated the reduction table", failures)
+	}
+	fmt.Println("\nall observed state sets fall within the paper's reduction table; zero invariant violations")
+	return nil
+}
+
+// auditAllowed mirrors the platform's allowed-state computation for one spec
+// under the proposed solution: the reduction table, plus S for write-through
+// shared lines.
+func auditAllowed(spec platform.ProcessorSpec, integ core.Integration) []coherence.State {
+	states := core.AllowedStates(spec.Protocol, integ.Effective)
+	if spec.WriteThroughShared {
+		states = append(append([]coherence.State(nil), states...), coherence.Shared)
+	}
+	return states
+}
+
+func withinAllowed(observed []string, allowed []coherence.State) bool {
+	for _, name := range observed {
+		ok := name == coherence.Invalid.String()
+		for _, s := range allowed {
+			if name == s.String() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // worstEffective labels the un-integrated system by its largest common

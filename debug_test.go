@@ -34,7 +34,11 @@ func TestDebugCachedLock(t *testing.T) {
 	}
 	bs := p.Bus.Stats()
 	t.Logf("bus: tenures=%d completed=%d aborted=%d idle=%d busy=%d", bs.Tenures, bs.Completed, bs.Aborted, bs.IdleCycles, bs.BusyCycles)
-	for _, e := range p.Log.Events() {
+	evs, dropped := p.Log.Events()
+	for _, e := range evs {
 		t.Log(e)
+	}
+	if dropped > 0 {
+		t.Logf("(%d older events dropped by the ring bound)", dropped)
 	}
 }

@@ -90,6 +90,13 @@ type Config struct {
 	// MetricsWindow overrides the time-series sampling window in engine
 	// cycles (default platform.DefaultMetricsWindow).
 	MetricsWindow uint64
+	// Audit enables the typed coherence event stream and the online
+	// invariant auditor; the run's summary lands in Result.Audit.
+	Audit bool
+	// EventLog, when non-nil, receives the coherence event stream as JSONL
+	// (one object per line); callers hand in a buffered writer and flush it
+	// after the run.
+	EventLog io.Writer
 	// MaxCycles bounds the run (default 50M engine cycles).
 	MaxCycles uint64
 }
@@ -133,6 +140,8 @@ func Build(cfg Config) (*platform.Platform, error) {
 		PipelinedBus:    cfg.PipelinedBus,
 		Metrics:         cfg.Metrics,
 		MetricsWindow:   cfg.MetricsWindow,
+		Audit:           cfg.Audit,
+		EventLog:        cfg.EventLog,
 	})
 	if err != nil {
 		return nil, err

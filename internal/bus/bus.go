@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"hetcc/internal/coherence"
+	"hetcc/internal/event"
 	"hetcc/internal/memory"
 	"hetcc/internal/metrics"
 	"hetcc/internal/trace"
@@ -284,6 +285,9 @@ type Bus struct {
 	mTenure    *metrics.Histogram
 	mRetries   *metrics.Histogram
 
+	// nil-safe coherence event sink (see SetEvents)
+	events *event.Sink
+
 	stats Stats
 }
 
@@ -380,6 +384,10 @@ func (b *Bus) SetMetrics(r *metrics.Registry) {
 	b.mRetries = r.Histogram("bus.retries.per.txn")
 }
 
+// SetEvents attaches the bus to a coherence event sink.  A nil sink (or
+// never calling SetEvents) makes every emission a single nil check.
+func (b *Bus) SetEvents(s *event.Sink) { b.events = s }
+
 // OnTenure installs an observer invoked at the end of every tenure,
 // including ARTRY-aborted ones (trace-span export).
 func (b *Bus) OnTenure(f func(Tenure)) { b.onTenure = f }
@@ -390,6 +398,7 @@ func (b *Bus) Submit(t *Transaction, done func(Result)) {
 		panic(fmt.Sprintf("bus: submit from unknown master %d", t.Master))
 	}
 	t.submitCycle = b.cycle
+	b.events.BusRequest(t.Master, uint8(t.Kind), t.Addr)
 	b.masters[t.Master].queue = append(b.masters[t.Master].queue, pending{txn: t, done: done})
 }
 
@@ -401,6 +410,7 @@ func (b *Bus) Submit(t *Transaction, done func(Result)) {
 func (b *Bus) SubmitFlush(t *Transaction, done func(Result)) {
 	m := b.masters[t.Master]
 	t.submitCycle = b.cycle
+	b.events.BusRequest(t.Master, uint8(t.Kind), t.Addr)
 	idx := 0
 	for idx < len(m.queue) && m.queue[idx].txn.retries > 0 {
 		idx++
@@ -587,6 +597,7 @@ func (b *Bus) prepare(now uint64, id int) prepared {
 		b.consecutiveAborts++
 		b.log.Addf(now, "bus", "ARTRY %s %s 0x%08x (retry %d)", m.name, t.Kind, t.Addr, t.retries)
 		b.curAbort = true
+		b.events.Retry(t.Master, uint8(t.Kind), t.Addr, t.retries)
 		m.queue = append([]pending{p}, m.queue...)
 		m.holdUntil = b.cycle + uint64(b.cfg.RetryBackoff)
 		// Two livelock signatures: nothing at all completing (the paper's
@@ -605,6 +616,7 @@ func (b *Bus) prepare(now uint64, id int) prepared {
 	}
 	b.consecutiveAborts = 0
 	b.mGrantWait.Observe(b.cycle - t.submitCycle)
+	b.events.BusGrant(t.Master, uint8(t.Kind), t.Addr, shared)
 
 	// Data phase.
 	res := Result{Shared: shared}

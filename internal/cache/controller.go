@@ -5,6 +5,7 @@ import (
 
 	"hetcc/internal/bus"
 	"hetcc/internal/coherence"
+	"hetcc/internal/event"
 	"hetcc/internal/metrics"
 	"hetcc/internal/trace"
 )
@@ -90,6 +91,9 @@ type Controller struct {
 	// nil-safe metric instruments (see SetMetrics); latencies in bus cycles.
 	mMissLat  *metrics.Histogram
 	mDrainLat *metrics.Histogram
+
+	// nil-safe coherence event sink (see SetEvents)
+	events *event.Sink
 }
 
 // NewController wires a controller for cache c on bus b, registering a new
@@ -125,6 +129,18 @@ func (ctl *Controller) MasterID() int { return ctl.masterID }
 func (ctl *Controller) SetMetrics(r *metrics.Registry) {
 	ctl.mMissLat = r.Histogram("cache.miss.buscycles")
 	ctl.mDrainLat = r.Histogram("cache.drain.buscycles")
+}
+
+// SetEvents attaches the controller to a coherence event sink.  A nil sink
+// makes every emission a single nil check.
+func (ctl *Controller) SetEvents(s *event.Sink) { ctl.events = s }
+
+// noteState publishes a line state transition on the event stream.  State
+// assignments below route through it so the auditor sees every transition.
+func (ctl *Controller) noteState(base uint32, old, next coherence.State) {
+	if old != next {
+		ctl.events.StateChange(ctl.masterID, base, old, next)
+	}
 }
 
 // Cache returns the underlying storage array.
@@ -182,6 +198,7 @@ func (ctl *Controller) Access(write bool, addr, val uint32, done func(readVal ui
 		}
 		if !needsBus {
 			ctl.cache.stats.WriteHits++
+			ctl.noteState(l.Base, l.State, next)
 			l.State = next
 			l.Data[w] = val
 			return Done, 0
@@ -256,6 +273,7 @@ func (ctl *Controller) accessWriteThrough(write bool, addr, val uint32, done fun
 	ctl.bus.Submit(txn, func(res bus.Result) {
 		ctl.mMissLat.Observe(ctl.bus.Cycle() - start)
 		l := ctl.cache.Install(addr, res.Data, coherence.Shared, victim)
+		ctl.noteState(l.Base, coherence.Invalid, l.State)
 		ctl.busy = false
 		done(l.Data[ctl.cache.WordIndex(addr)])
 	})
@@ -297,6 +315,7 @@ func (ctl *Controller) writeWithBus(op coherence.BusOp, next coherence.State, ad
 			// Dragon: stay owner if anybody still shares the line.
 			next = ctl.cache.Protocol().AfterUpdate(ctl.policy.OverrideShared(res.Shared))
 		}
+		ctl.noteState(cur.Base, cur.State, next)
 		cur.State = next
 		cur.Data[ctl.cache.WordIndex(addr)] = val
 		ctl.cache.Touch(cur)
@@ -334,6 +353,7 @@ func (ctl *Controller) missFill(write bool, addr, val uint32, done func(uint32))
 			st = proto.FillStateAfterRead(shared)
 		}
 		l := ctl.cache.Install(addr, res.Data, st, victim)
+		ctl.noteState(l.Base, coherence.Invalid, l.State)
 		w := ctl.cache.WordIndex(addr)
 		if !write {
 			ctl.busy = false
@@ -351,6 +371,7 @@ func (ctl *Controller) missFill(write bool, addr, val uint32, done func(uint32))
 				ctl.writeWithBus(op, next, addr, val, done)
 				return
 			}
+			ctl.noteState(l.Base, l.State, next)
 			l.State = next
 		}
 		l.Data[w] = val
@@ -374,11 +395,13 @@ func (ctl *Controller) evict(l *Line) {
 		ctl.bus.Submit(txn, func(bus.Result) {
 			ctl.mDrainLat.Observe(ctl.bus.Cycle() - start)
 			delete(ctl.pendingWB, base)
+			ctl.events.Drain(ctl.masterID, base)
 		})
 	}
 	if ctl.upgradeLive && base == ctl.upgradeBase {
 		ctl.upgradeLost = true
 	}
+	ctl.noteState(base, l.State, coherence.Invalid)
 	l.State = coherence.Invalid
 }
 
@@ -429,6 +452,7 @@ func (ctl *Controller) Clean(addr uint32, done func()) Status {
 	ctl.bus.Submit(txn, func(bus.Result) {
 		ctl.mDrainLat.Observe(ctl.bus.Cycle() - start)
 		delete(ctl.pendingWB, base)
+		ctl.events.Drain(ctl.masterID, base)
 		if done != nil {
 			done()
 		}
@@ -450,6 +474,7 @@ func (ctl *Controller) invalidateLine(l *Line) {
 	if ctl.upgradeLive && l.Base == ctl.upgradeBase {
 		ctl.upgradeLost = true
 	}
+	ctl.noteState(l.Base, l.State, coherence.Invalid)
 	l.State = coherence.Invalid
 	l.flushPending = false
 }
@@ -476,6 +501,7 @@ func (ctl *Controller) SnoopBus(t *bus.Transaction) bus.SnoopReply {
 		panic(fmt.Sprintf("cache %s: %v", ctl.name, err))
 	}
 	ctl.cache.stats.SnoopHits++
+	ctl.events.SnoopHit(ctl.masterID, l.Base, op)
 	if out.Supply && !ctl.policy.AllowSupply() {
 		// Intervention suppressed: drain to memory and let the requester
 		// retry, as a non-MOESI requester cannot accept the transfer.
@@ -498,6 +524,8 @@ func (ctl *Controller) SnoopBus(t *bus.Transaction) bus.SnoopReply {
 		ctl.bus.SubmitFlush(txn, func(bus.Result) {
 			ctl.mDrainLat.Observe(ctl.bus.Cycle() - start)
 			l.flushPending = false
+			ctl.events.Drain(ctl.masterID, l.Base)
+			ctl.noteState(l.Base, l.State, l.flushNext)
 			l.State = l.flushNext
 			if l.State == coherence.Invalid && ctl.upgradeLive && l.Base == ctl.upgradeBase {
 				ctl.upgradeLost = true
@@ -523,6 +551,7 @@ func (ctl *Controller) SnoopBus(t *bus.Transaction) bus.SnoopReply {
 		ctl.invalidateLine(l)
 	} else if out.Next != l.State {
 		ctl.cache.stats.SnoopDowngrades++
+		ctl.noteState(l.Base, l.State, out.Next)
 		l.State = out.Next
 	}
 	return reply

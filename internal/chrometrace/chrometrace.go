@@ -20,6 +20,7 @@ import (
 	"io"
 	"sort"
 
+	"hetcc/internal/audit"
 	"hetcc/internal/bus"
 	"hetcc/internal/trace"
 )
@@ -47,6 +48,8 @@ const (
 	PidBus = 1
 	// PidLog groups trace.Log instant events, one tid per unit.
 	PidLog = 2
+	// PidAudit groups invariant-violation markers from the online auditor.
+	PidAudit = 3
 )
 
 func usAt(cycle uint64) float64 { return float64(cycle) / EngineCyclesPerMicrosecond }
@@ -99,7 +102,7 @@ func FromTenures(tenures []bus.Tenure, masterName func(id int) string) []Event {
 // per emitting unit (lanes are allocated in sorted unit order so the export
 // is deterministic).
 func FromLog(l *trace.Log) []Event {
-	evs := l.Events()
+	evs, dropped := l.Events()
 	if len(evs) == 0 {
 		return nil
 	}
@@ -127,6 +130,45 @@ func FromLog(l *trace.Log) []Event {
 			Pid:  PidLog,
 			Tid:  units[e.Unit],
 			Args: map[string]any{"s": "t"},
+		})
+	}
+	if dropped > 0 {
+		events = append(events, Event{
+			Name: fmt.Sprintf("%d older events dropped by ring bound", dropped),
+			Ph:   "i",
+			Ts:   usAt(evs[0].Cycle),
+			Pid:  PidLog,
+			Tid:  0,
+			Args: map[string]any{"s": "p", "dropped": dropped},
+		})
+	}
+	return events
+}
+
+// FromViolations converts invariant violations from the online auditor into
+// instant markers on a dedicated lane, so a broken configuration shows the
+// exact cycle each invariant first failed alongside the bus activity.
+func FromViolations(vs []audit.Violation) []Event {
+	if len(vs) == 0 {
+		return nil
+	}
+	events := []Event{
+		meta("process_name", PidAudit, 0, "invariant violations"),
+		meta("thread_name", PidAudit, 0, "auditor"),
+	}
+	for _, v := range vs {
+		events = append(events, Event{
+			Name: v.Check,
+			Ph:   "i",
+			Ts:   usAt(v.Cycle),
+			Pid:  PidAudit,
+			Tid:  0,
+			Args: map[string]any{
+				"s":      "p",
+				"core":   v.Core,
+				"addr":   fmt.Sprintf("0x%08x", v.Addr),
+				"detail": v.Detail,
+			},
 		})
 	}
 	return events

@@ -6,6 +6,7 @@ import (
 	"math"
 	"testing"
 
+	"hetcc/internal/audit"
 	"hetcc/internal/bus"
 	"hetcc/internal/trace"
 )
@@ -96,5 +97,52 @@ func TestFromLog(t *testing.T) {
 	}
 	if FromLog(nil) != nil {
 		t.Fatal("nil log should export nothing")
+	}
+}
+
+// TestFromLogReportsDropped checks a bounded log surfaces the ring's dropped
+// count as an extra marker.
+func TestFromLogReportsDropped(t *testing.T) {
+	l := trace.NewLog(2)
+	for i := 0; i < 5; i++ {
+		l.Addf(uint64(100*i), "bus", "e%d", i)
+	}
+	events := FromLog(l)
+	requireKeys(t, events)
+	found := false
+	for _, e := range events {
+		if e.Ph == "i" && e.Args["dropped"] == uint64(3) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no dropped-count marker in %v", events)
+	}
+}
+
+func TestFromViolations(t *testing.T) {
+	vs := []audit.Violation{
+		{Cycle: 500, Check: "swmr", Core: 1, Addr: 0x2000_0040, Detail: "2 writable copies"},
+		{Cycle: 700, Check: "stale-read", Core: 0, Addr: 0x2000_0000, Detail: "read 0, want 7"},
+	}
+	events := FromViolations(vs)
+	requireKeys(t, events)
+	var markers []Event
+	for _, e := range events {
+		if e.Ph == "i" {
+			markers = append(markers, e)
+		}
+	}
+	if len(markers) != 2 {
+		t.Fatalf("%d markers, want 2", len(markers))
+	}
+	if markers[0].Name != "swmr" || markers[0].Ts != 5.0 || markers[0].Pid != PidAudit {
+		t.Fatalf("marker 0 %+v, want swmr at 5.0 us on the audit pid", markers[0])
+	}
+	if markers[1].Args["addr"] != "0x20000000" || markers[1].Args["core"] != 0 {
+		t.Fatalf("marker 1 args %v", markers[1].Args)
+	}
+	if FromViolations(nil) != nil {
+		t.Fatal("no violations should export nothing")
 	}
 }

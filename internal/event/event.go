@@ -1,0 +1,303 @@
+// Package event defines the typed coherence event stream: a flat,
+// allocation-conscious record per bus/coherence action, fanned out through a
+// nil-safe Sink to subscribers (the invariant auditor of package audit, the
+// JSONL exporter, tests).
+//
+// The producer pattern mirrors package metrics: every producer holds a
+// *Sink that may be nil, and every emit helper starts with a nil-receiver
+// check, so a simulation built without the event stream pays exactly one
+// branch per would-be event.  Records are passed to subscribers by pointer
+// to one stack value; subscribers must copy a record if they retain it.
+package event
+
+import (
+	"fmt"
+	"io"
+
+	"hetcc/internal/coherence"
+)
+
+// Kind enumerates coherence event kinds.
+type Kind uint8
+
+const (
+	// BusRequest: a master queued a bus transaction (BREQ).
+	BusRequest Kind = iota
+	// BusGrant: a tenure won arbitration and passed its address phase
+	// un-aborted (BGNT); the shared-signal sample is recorded.
+	BusGrant
+	// Retry: a tenure was ARTRYed during the address phase.
+	Retry
+	// SnoopHit: a snooper (cache controller or TAG-CAM snoop logic) matched
+	// another master's transaction against a line it holds or shadows.
+	SnoopHit
+	// StateChange: a cache line changed coherence state (fill, write-hit
+	// upgrade, snoop action, eviction, software clean/invalidate).
+	StateChange
+	// WrapperConvert: a wrapper rewrote the bus op presented to its
+	// processor's snoop port (the paper's read-to-write conversion).
+	WrapperConvert
+	// SharedOverride: a wrapper changed the shared-signal value its master
+	// sampled (force-assert / force-deassert).
+	SharedOverride
+	// Drain: a write-back completed (eviction, software clean, snoop flush
+	// or ISR drain), making memory current for the line.
+	Drain
+
+	kindCount
+)
+
+// String returns the kind's JSONL tag.
+func (k Kind) String() string {
+	switch k {
+	case BusRequest:
+		return "bus-request"
+	case BusGrant:
+		return "bus-grant"
+	case Retry:
+		return "retry"
+	case SnoopHit:
+		return "snoop-hit"
+	case StateChange:
+		return "state-change"
+	case WrapperConvert:
+		return "wrapper-convert"
+	case SharedOverride:
+		return "shared-override"
+	case Drain:
+		return "drain"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Record is one coherence event.  It is a flat value struct; which fields
+// are meaningful depends on Kind (see the per-kind emit helpers on Sink).
+type Record struct {
+	// Cycle is the engine cycle at emission (stamped by the Sink).
+	Cycle uint64
+	Kind  Kind
+	// Core is the originating bus master / core index (the DMA engine's
+	// master id appears here for its own bus events).
+	Core int
+	// Addr is the line or word address the event concerns (0 when the event
+	// has no address, e.g. WrapperConvert).
+	Addr uint32
+	// Old and New are the line states for StateChange.
+	Old, New coherence.State
+	// Op is the snoop-level operation for SnoopHit and the observed op for
+	// WrapperConvert; Op2 is the converted op for WrapperConvert.
+	Op, Op2 coherence.BusOp
+	// BusKind is the raw bus transaction kind (bus.Kind numeric value) for
+	// BusRequest/BusGrant/Retry.  Kept as uint8 so this package does not
+	// depend on package bus.
+	BusKind uint8
+	// Retries is the transaction's retry count so far (Retry events).
+	Retries int
+	// SharedIn/SharedOut carry the shared-signal value before and after a
+	// SharedOverride, and SharedOut the sampled value on BusGrant.
+	SharedIn, SharedOut bool
+}
+
+// Handler receives records synchronously as they are emitted.  The pointed-to
+// record is only valid for the duration of the call.
+type Handler func(*Record)
+
+// Sink stamps, counts and fans out records.  A nil *Sink is valid everywhere
+// and records nothing: every emit helper is a single nil check when the
+// stream is disabled.
+type Sink struct {
+	now    func() uint64
+	subs   []Handler
+	counts [kindCount]uint64
+}
+
+// NewSink creates a sink stamping records with the now clock (typically the
+// simulation engine's Now).  A nil clock stamps zero.
+func NewSink(now func() uint64) *Sink {
+	if now == nil {
+		now = func() uint64 { return 0 }
+	}
+	return &Sink{now: now}
+}
+
+// Enabled reports whether the sink records events (false for nil).
+func (s *Sink) Enabled() bool { return s != nil }
+
+// Subscribe registers a handler.  Handlers run in registration order.
+func (s *Sink) Subscribe(h Handler) {
+	if s == nil || h == nil {
+		return
+	}
+	s.subs = append(s.subs, h)
+}
+
+// Counts returns the non-zero per-kind event counts keyed by Kind.String()
+// (nil for a nil sink).
+func (s *Sink) Counts() map[string]uint64 {
+	if s == nil {
+		return nil
+	}
+	out := make(map[string]uint64)
+	for k, n := range s.counts {
+		if n > 0 {
+			out[Kind(k).String()] = n
+		}
+	}
+	return out
+}
+
+// Total returns the total number of records emitted.
+func (s *Sink) Total() uint64 {
+	if s == nil {
+		return 0
+	}
+	var t uint64
+	for _, n := range s.counts {
+		t += n
+	}
+	return t
+}
+
+func (s *Sink) emit(r Record) {
+	r.Cycle = s.now()
+	s.counts[r.Kind]++
+	for i := range s.subs {
+		s.subs[i](&r)
+	}
+}
+
+// BusRequest records a transaction entering its master's queue.
+func (s *Sink) BusRequest(core int, busKind uint8, addr uint32) {
+	if s == nil {
+		return
+	}
+	s.emit(Record{Kind: BusRequest, Core: core, Addr: addr, BusKind: busKind})
+}
+
+// BusGrant records a tenure surviving its address phase; shared is the
+// combined shared-signal sample.
+func (s *Sink) BusGrant(core int, busKind uint8, addr uint32, shared bool) {
+	if s == nil {
+		return
+	}
+	s.emit(Record{Kind: BusGrant, Core: core, Addr: addr, BusKind: busKind, SharedOut: shared})
+}
+
+// Retry records an ARTRY abort; retries is the transaction's running count.
+func (s *Sink) Retry(core int, busKind uint8, addr uint32, retries int) {
+	if s == nil {
+		return
+	}
+	s.emit(Record{Kind: Retry, Core: core, Addr: addr, BusKind: busKind, Retries: retries})
+}
+
+// SnoopHit records a snooper matching a remote transaction on line addr; op
+// is the coherence operation it observed (after any wrapper conversion).
+func (s *Sink) SnoopHit(core int, addr uint32, op coherence.BusOp) {
+	if s == nil {
+		return
+	}
+	s.emit(Record{Kind: SnoopHit, Core: core, Addr: addr, Op: op})
+}
+
+// StateChange records a cache line of core moving old→new.
+func (s *Sink) StateChange(core int, addr uint32, old, new coherence.State) {
+	if s == nil {
+		return
+	}
+	s.emit(Record{Kind: StateChange, Core: core, Addr: addr, Old: old, New: new})
+}
+
+// WrapperConvert records a wrapper rewriting snoop op from→to.
+func (s *Sink) WrapperConvert(core int, from, to coherence.BusOp) {
+	if s == nil {
+		return
+	}
+	s.emit(Record{Kind: WrapperConvert, Core: core, Op: from, Op2: to})
+}
+
+// SharedOverride records a wrapper changing the sampled shared signal.
+func (s *Sink) SharedOverride(core int, in, out bool) {
+	if s == nil {
+		return
+	}
+	s.emit(Record{Kind: SharedOverride, Core: core, SharedIn: in, SharedOut: out})
+}
+
+// Drain records a completed write-back of line addr.
+func (s *Sink) Drain(core int, addr uint32) {
+	if s == nil {
+		return
+	}
+	s.emit(Record{Kind: Drain, Core: core, Addr: addr})
+}
+
+// JSONLWriter streams records to w as one JSON object per line.  It is a
+// Sink handler; writes are unbuffered, so callers stream to a bufio.Writer
+// (and flush it) when exporting large runs.
+type JSONLWriter struct {
+	w io.Writer
+	// busName renders Record.BusKind (the platform wires bus.Kind.String);
+	// nil prints the numeric value.
+	busName func(uint8) string
+	err     error
+	n       uint64
+}
+
+// NewJSONLWriter creates a writer targeting w.  busName, when non-nil, names
+// the raw bus transaction kinds in bus-request/bus-grant/retry rows.
+func NewJSONLWriter(w io.Writer, busName func(uint8) string) *JSONLWriter {
+	return &JSONLWriter{w: w, busName: busName}
+}
+
+// Handle implements Handler.  After the first write error it becomes a no-op
+// (check Err after the run).
+func (jw *JSONLWriter) Handle(r *Record) {
+	if jw.err != nil {
+		return
+	}
+	_, jw.err = io.WriteString(jw.w, jw.render(r))
+	if jw.err == nil {
+		jw.n++
+	}
+}
+
+// Err returns the first write error, if any.
+func (jw *JSONLWriter) Err() error { return jw.err }
+
+// Written returns the number of rows successfully written.
+func (jw *JSONLWriter) Written() uint64 { return jw.n }
+
+func (jw *JSONLWriter) render(r *Record) string {
+	head := fmt.Sprintf(`{"cycle":%d,"kind":%q,"core":%d`, r.Cycle, r.Kind.String(), r.Core)
+	switch r.Kind {
+	case BusRequest, Retry:
+		s := head + fmt.Sprintf(`,"op":%q,"addr":"0x%08x"`, jw.bus(r.BusKind), r.Addr)
+		if r.Kind == Retry {
+			s += fmt.Sprintf(`,"retries":%d`, r.Retries)
+		}
+		return s + "}\n"
+	case BusGrant:
+		return head + fmt.Sprintf(`,"op":%q,"addr":"0x%08x","shared":%v}`+"\n", jw.bus(r.BusKind), r.Addr, r.SharedOut)
+	case SnoopHit:
+		return head + fmt.Sprintf(`,"addr":"0x%08x","op":%q}`+"\n", r.Addr, r.Op.String())
+	case StateChange:
+		return head + fmt.Sprintf(`,"addr":"0x%08x","old":%q,"new":%q}`+"\n", r.Addr, r.Old.String(), r.New.String())
+	case WrapperConvert:
+		return head + fmt.Sprintf(`,"from":%q,"to":%q}`+"\n", r.Op.String(), r.Op2.String())
+	case SharedOverride:
+		return head + fmt.Sprintf(`,"in":%v,"out":%v}`+"\n", r.SharedIn, r.SharedOut)
+	case Drain:
+		return head + fmt.Sprintf(`,"addr":"0x%08x"}`+"\n", r.Addr)
+	default:
+		return head + "}\n"
+	}
+}
+
+func (jw *JSONLWriter) bus(k uint8) string {
+	if jw.busName != nil {
+		return jw.busName(k)
+	}
+	return fmt.Sprintf("Kind(%d)", k)
+}

@@ -1,0 +1,168 @@
+package event
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"hetcc/internal/coherence"
+)
+
+// TestNilSinkIsSafe exercises every emit helper and accessor on a nil sink:
+// the disabled path must be a no-op, never a panic.
+func TestNilSinkIsSafe(t *testing.T) {
+	var s *Sink
+	s.BusRequest(0, 1, 0x100)
+	s.BusGrant(0, 1, 0x100, true)
+	s.Retry(0, 1, 0x100, 3)
+	s.SnoopHit(1, 0x100, coherence.BusRd)
+	s.StateChange(1, 0x100, coherence.Invalid, coherence.Exclusive)
+	s.WrapperConvert(1, coherence.BusRd, coherence.BusRdX)
+	s.SharedOverride(1, true, false)
+	s.Drain(1, 0x100)
+	s.Subscribe(func(*Record) { t.Fatal("nil sink delivered an event") })
+	if s.Enabled() || s.Counts() != nil || s.Total() != 0 {
+		t.Fatal("nil sink misbehaves")
+	}
+}
+
+// TestSinkStampsCountsAndFansOut checks the stamp clock, per-kind counters
+// and multi-subscriber delivery order.
+func TestSinkStampsCountsAndFansOut(t *testing.T) {
+	var cycle uint64 = 41
+	s := NewSink(func() uint64 { cycle++; return cycle })
+	var got []Record
+	s.Subscribe(func(r *Record) { got = append(got, *r) })
+	order := ""
+	s.Subscribe(func(*Record) { order += "b" })
+
+	s.StateChange(0, 0x2000_0000, coherence.Invalid, coherence.Modified)
+	s.StateChange(1, 0x2000_0020, coherence.Exclusive, coherence.Invalid)
+	s.Drain(1, 0x2000_0020)
+
+	if len(got) != 3 || order != "bbb" {
+		t.Fatalf("delivered %d/%q, want 3 records to both subscribers", len(got), order)
+	}
+	if got[0].Cycle != 42 || got[2].Cycle != 44 {
+		t.Fatalf("cycle stamps %d/%d, want 42/44", got[0].Cycle, got[2].Cycle)
+	}
+	if got[0].Kind != StateChange || got[0].Old != coherence.Invalid || got[0].New != coherence.Modified {
+		t.Fatalf("record %+v lost its payload", got[0])
+	}
+	counts := s.Counts()
+	if counts["state-change"] != 2 || counts["drain"] != 1 || len(counts) != 2 {
+		t.Fatalf("counts %v, want state-change:2 drain:1 only", counts)
+	}
+	if s.Total() != 3 {
+		t.Fatalf("total %d, want 3", s.Total())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		BusRequest: "bus-request", BusGrant: "bus-grant", Retry: "retry",
+		SnoopHit: "snoop-hit", StateChange: "state-change",
+		WrapperConvert: "wrapper-convert", SharedOverride: "shared-override",
+		Drain: "drain",
+	}
+	if len(want) != int(kindCount) {
+		t.Fatalf("test covers %d kinds, package has %d", len(want), kindCount)
+	}
+	for k, name := range want {
+		if k.String() != name {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), name)
+		}
+	}
+	if !strings.Contains(Kind(200).String(), "200") {
+		t.Errorf("unknown kind renders %q", Kind(200).String())
+	}
+}
+
+// TestJSONLWriter emits one record of each kind and checks every line is a
+// self-contained JSON object carrying the kind tag and payload fields.
+func TestJSONLWriter(t *testing.T) {
+	var sb strings.Builder
+	s := NewSink(nil)
+	jw := NewJSONLWriter(&sb, func(k uint8) string { return "bus-kind-" + string('0'+rune(k)) })
+	s.Subscribe(jw.Handle)
+
+	s.BusRequest(0, 2, 0x2000_0000)
+	s.BusGrant(0, 2, 0x2000_0000, true)
+	s.Retry(1, 2, 0x2000_0000, 4)
+	s.SnoopHit(1, 0x2000_0000, coherence.BusRdX)
+	s.StateChange(0, 0x2000_0000, coherence.Invalid, coherence.Exclusive)
+	s.WrapperConvert(1, coherence.BusRd, coherence.BusRdX)
+	s.SharedOverride(1, true, false)
+	s.Drain(0, 0x2000_0000)
+
+	if jw.Err() != nil {
+		t.Fatal(jw.Err())
+	}
+	lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	if len(lines) != 8 || jw.Written() != 8 {
+		t.Fatalf("%d lines, %d written, want 8", len(lines), jw.Written())
+	}
+	wantKinds := []string{
+		"bus-request", "bus-grant", "retry", "snoop-hit",
+		"state-change", "wrapper-convert", "shared-override", "drain",
+	}
+	for i, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", i, err, line)
+		}
+		if obj["kind"] != wantKinds[i] {
+			t.Errorf("line %d kind %v, want %s", i, obj["kind"], wantKinds[i])
+		}
+	}
+	if !strings.Contains(lines[0], `"op":"bus-kind-2"`) {
+		t.Errorf("busName not applied: %s", lines[0])
+	}
+	if !strings.Contains(lines[4], `"old":"I"`) || !strings.Contains(lines[4], `"new":"E"`) {
+		t.Errorf("state-change payload wrong: %s", lines[4])
+	}
+	if !strings.Contains(lines[5], `"from":"BusRd"`) || !strings.Contains(lines[5], `"to":"BusRdX"`) {
+		t.Errorf("wrapper-convert payload wrong: %s", lines[5])
+	}
+	if !strings.Contains(lines[2], `"retries":4`) {
+		t.Errorf("retry payload wrong: %s", lines[2])
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+// TestJSONLWriterStopsOnError checks the writer latches its first error and
+// stops writing rather than spamming a broken destination.
+func TestJSONLWriterStopsOnError(t *testing.T) {
+	s := NewSink(nil)
+	jw := NewJSONLWriter(&failWriter{n: 2}, nil)
+	s.Subscribe(jw.Handle)
+	for i := 0; i < 5; i++ {
+		s.Drain(0, uint32(i))
+	}
+	if jw.Err() == nil || jw.Written() != 2 {
+		t.Fatalf("err=%v written=%d, want latched error after 2", jw.Err(), jw.Written())
+	}
+}
+
+// TestJSONLWriterNilBusName checks the numeric fallback when no bus namer is
+// wired (the writer must not depend on package bus).
+func TestJSONLWriterNilBusName(t *testing.T) {
+	var sb strings.Builder
+	s := NewSink(nil)
+	jw := NewJSONLWriter(&sb, nil)
+	s.Subscribe(jw.Handle)
+	s.BusRequest(0, 7, 0x10)
+	if !strings.Contains(sb.String(), "Kind(7)") {
+		t.Fatalf("fallback naming missing: %s", sb.String())
+	}
+}

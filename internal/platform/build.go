@@ -3,12 +3,14 @@ package platform
 import (
 	"fmt"
 
+	"hetcc/internal/audit"
 	"hetcc/internal/bus"
 	"hetcc/internal/cache"
 	"hetcc/internal/coherence"
 	"hetcc/internal/core"
 	"hetcc/internal/cpu"
 	"hetcc/internal/dma"
+	"hetcc/internal/event"
 	"hetcc/internal/isa"
 	"hetcc/internal/lock"
 	"hetcc/internal/memory"
@@ -51,11 +53,14 @@ type Platform struct {
 	// Metrics is the run's metrics registry (nil unless Config.Metrics).
 	Metrics *metrics.Registry
 
-	sampler *metrics.Sampler
-	tenures []bus.Tenure
-	checker *checker
-	vcd     *vcdProbe
-	halted  int
+	sampler    *metrics.Sampler
+	tenures    []bus.Tenure
+	checker    *checker
+	vcd        *vcdProbe
+	halted     int
+	events     *event.Sink
+	auditor    *audit.Auditor
+	eventJSONL *event.JSONLWriter
 }
 
 // Build validates cfg and wires the system.
@@ -110,6 +115,25 @@ func Build(cfg Config) (*Platform, error) {
 		p.Metrics = metrics.NewRegistry()
 	}
 	b.SetMetrics(p.Metrics)
+	// The event stream exists when the auditor or the JSONL export wants
+	// it; otherwise the sink stays nil and every producer emission is one
+	// nil check (same contract as the metrics instruments).
+	if cfg.Audit || cfg.EventLog != nil {
+		p.events = event.NewSink(engine.Now)
+	}
+	b.SetEvents(p.events)
+	if cfg.EventLog != nil {
+		p.eventJSONL = event.NewJSONLWriter(cfg.EventLog, func(k uint8) string { return bus.Kind(k).String() })
+		p.events.Subscribe(p.eventJSONL.Handle)
+	}
+	if cfg.Audit {
+		p.auditor = audit.New(audit.Config{
+			Cores:   len(cfg.Processors),
+			Allowed: auditAllowedStates(cfg, integ),
+			Shared:  InShared,
+		})
+		p.events.Subscribe(p.auditor.Handle)
+	}
 	if p.Metrics != nil {
 		b.OnTenure(func(t bus.Tenure) {
 			if len(p.tenures) < maxTenures {
@@ -222,8 +246,10 @@ func Build(cfg Config) (*Platform, error) {
 		snoops := hwCoherence && spec.Protocol != coherence.None
 		ctl := cache.NewController(spec.Model, arr, b, policy, snoops, log)
 		ctl.SetMetrics(p.Metrics)
+		ctl.SetEvents(p.events)
 		if w != nil {
 			w.SetMetrics(p.Metrics)
+			w.SetEvents(p.events, i)
 		}
 		if hwCoherence && spec.WrapperLatency > 0 {
 			b.SetMasterLatency(ctl.MasterID(), spec.WrapperLatency)
@@ -243,6 +269,7 @@ func Build(cfg Config) (*Platform, error) {
 			// through the ISR.
 			sl.SetCapacity(spec.Cache.SizeBytes / spec.Cache.LineBytes)
 			sl.SetMetrics(p.Metrics)
+			sl.SetEvents(p.events)
 		}
 
 		c := cpu.New(cpu.Config{
@@ -258,8 +285,17 @@ func Build(cfg Config) (*Platform, error) {
 			sl.SetFIQRaiser(c)
 		}
 		c.SetMetrics(p.Metrics)
+		// SetHooks is single-slot, so the golden-model checker and the
+		// auditor's data-value check are chained into one hook set.
+		var hooks cpu.Hooks
 		if p.checker != nil {
-			c.SetHooks(cpu.Hooks{OnLoad: p.checker.onLoad, OnStore: p.checker.onStore})
+			hooks = chainHooks(hooks, cpu.Hooks{OnLoad: p.checker.onLoad, OnStore: p.checker.onStore})
+		}
+		if p.auditor != nil {
+			hooks = chainHooks(hooks, cpu.Hooks{OnLoad: p.auditor.OnLoad, OnStore: p.auditor.OnStore})
+		}
+		if hooks.OnLoad != nil || hooks.OnStore != nil {
+			c.SetHooks(hooks)
 		}
 		c.OnHalt(func(int) {
 			p.halted++
@@ -347,6 +383,80 @@ func Build(cfg Config) (*Platform, error) {
 	}
 
 	return p, nil
+}
+
+// auditAllowedStates computes each core's legal post-reduction state set for
+// the invariant auditor.  Under the Proposed solution with wrappers, that is
+// the paper's reduction table (core.AllowedStates, including the MSI-in-MEI
+// exception where S behaves as E); everywhere else — the baselines, or the
+// deliberately broken DisableWrappers mode — the cache runs its native
+// protocol unrestricted, so the check reduces to "a state this protocol
+// defines".
+func auditAllowedStates(cfg Config, integ core.Integration) [][]coherence.State {
+	out := make([][]coherence.State, len(cfg.Processors))
+	for i, spec := range cfg.Processors {
+		native := spec.Protocol
+		effective := native
+		if cfg.Solution == Proposed && !cfg.DisableWrappers {
+			effective = integ.Effective
+		}
+		states := core.AllowedStates(native, effective)
+		if spec.WriteThroughShared {
+			// Write-through lines follow the SI protocol and may hold S
+			// regardless of the wrapper's shared-signal policy ("only
+			// write-through lines can have the S state").
+			states = appendState(states, coherence.Shared)
+		}
+		out[i] = states
+	}
+	return out
+}
+
+func appendState(states []coherence.State, s coherence.State) []coherence.State {
+	for _, have := range states {
+		if have == s {
+			return states
+		}
+	}
+	return append(append([]coherence.State(nil), states...), s)
+}
+
+// chainHooks composes two CPU hook sets, calling a's callbacks before b's.
+func chainHooks(a, b cpu.Hooks) cpu.Hooks {
+	out := a
+	if b.OnLoad != nil {
+		if prev := out.OnLoad; prev != nil {
+			bLoad := b.OnLoad
+			out.OnLoad = func(core int, addr, val uint32, now uint64) {
+				prev(core, addr, val, now)
+				bLoad(core, addr, val, now)
+			}
+		} else {
+			out.OnLoad = b.OnLoad
+		}
+	}
+	if b.OnStore != nil {
+		if prev := out.OnStore; prev != nil {
+			bStore := b.OnStore
+			out.OnStore = func(core int, addr, val uint32, now uint64) {
+				prev(core, addr, val, now)
+				bStore(core, addr, val, now)
+			}
+		} else {
+			out.OnStore = b.OnStore
+		}
+	}
+	return out
+}
+
+// EventLogStats reports how many JSONL records were written to
+// Config.EventLog and the first write error, if any (0, nil when the export
+// is off).
+func (p *Platform) EventLogStats() (written uint64, err error) {
+	if p.eventJSONL == nil {
+		return 0, nil
+	}
+	return p.eventJSONL.Written(), p.eventJSONL.Err()
 }
 
 // LoadPrograms installs one program per core.

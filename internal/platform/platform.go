@@ -286,6 +286,18 @@ type Config struct {
 	// MetricsWindow is the time-series sampling window in engine cycles
 	// (default 10,000 = 100 us at the paper's 100 MHz clocking).
 	MetricsWindow uint64
+	// Audit enables the typed coherence event stream and the online
+	// invariant auditor (package audit): SWMR, single-dirty-owner,
+	// data-value, and wrapper-reduction invariants are checked as the run
+	// progresses, with per-line state timelines accumulated.  Result.Audit
+	// carries the summary.  Off by default; the disabled path costs one nil
+	// check per would-be event.
+	Audit bool
+	// EventLog, when non-nil, receives every coherence event as one JSON
+	// object per line (JSONL), enabling the event stream even when Audit is
+	// off.  Writes are unbuffered: callers hand in a buffered writer and
+	// flush it after the run.
+	EventLog io.Writer
 	// DeadlockThreshold overrides the bus livelock detector bound.
 	DeadlockThreshold int
 	// DMA adds the coherent DMA engine (register bank at DMABase).

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"hetcc/internal/audit"
 	"hetcc/internal/bus"
 	"hetcc/internal/cache"
 	"hetcc/internal/cpu"
@@ -17,7 +18,9 @@ import (
 const ReportSchema = "hetcc.run-report"
 
 // ReportSchemaVersion is bumped on any incompatible change to Report.
-const ReportSchemaVersion = 1
+// v2 added the "audit" section (invariant auditor summary); every v1 field
+// is unchanged, so v1 consumers keep working.
+const ReportSchemaVersion = 2
 
 // Report is the machine-readable summary of one simulation run, written by
 // the -report flag of cmd/hetccsim.  It is deliberately free of wall-clock
@@ -54,6 +57,10 @@ type Report struct {
 	// summaries (p50/p95/p99) and the sampled time series.  Nil when the
 	// run had metrics disabled.
 	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+
+	// Audit is the invariant auditor's summary (schema v2).  Nil when the
+	// run had auditing disabled.
+	Audit *audit.Summary `json:"audit,omitempty"`
 }
 
 // CoreReport is the per-processor slice of a Report.
@@ -81,6 +88,7 @@ func (p *Platform) Report(res Result, scenario string) Report {
 		Coherent:          res.Coherent(),
 		Bus:               res.Bus,
 		Metrics:           res.Metrics,
+		Audit:             res.Audit,
 	}
 	if res.Err != nil {
 		rep.Error = res.Err.Error()

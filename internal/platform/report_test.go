@@ -14,8 +14,8 @@ import (
 
 var update = flag.Bool("update", false, "rewrite the golden report file")
 
-// runWCSReport runs a small deterministic WCS simulation with metrics on and
-// returns the platform, the result, and the rendered report.
+// runWCSReport runs a small deterministic WCS simulation with metrics and
+// auditing on and returns the platform, the result, and the rendered report.
 func runWCSReport(t *testing.T) (*Platform, Result, Report) {
 	t.Helper()
 	p, err := Build(Config{
@@ -25,6 +25,7 @@ func runWCSReport(t *testing.T) (*Platform, Result, Report) {
 		Verify:        true,
 		Metrics:       true,
 		MetricsWindow: 5_000,
+		Audit:         true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -116,6 +117,75 @@ func TestReportRoundTrip(t *testing.T) {
 	}
 	if !back.Coherent {
 		t.Fatal("proposed run reported incoherent")
+	}
+}
+
+// TestReportV1FieldsStable guards v1 consumers: every v1 top-level field must
+// still be present with its v1 JSON name, and the v2 addition must be the
+// separate "audit" key rather than a change to any existing field.
+func TestReportV1FieldsStable(t *testing.T) {
+	_, _, rep := runWCSReport(t)
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	v1Fields := []string{
+		"schema", "schema_version", "scenario", "solution", "platform",
+		"effective_protocol", "cycles", "bus_cycles", "stop_reason",
+		"deadlocked", "coherent", "bus", "cores", "metrics",
+	}
+	for _, f := range v1Fields {
+		if _, ok := raw[f]; !ok {
+			t.Errorf("v1 field %q missing from v2 report", f)
+		}
+	}
+	if _, ok := raw["audit"]; !ok {
+		t.Error("v2 report missing the audit section")
+	}
+	var schema string
+	if err := json.Unmarshal(raw["schema"], &schema); err != nil || schema != ReportSchema {
+		t.Errorf("schema = %q (%v), want %q", schema, err, ReportSchema)
+	}
+	var version int
+	if err := json.Unmarshal(raw["schema_version"], &version); err != nil || version != 2 {
+		t.Errorf("schema_version = %d (%v), want 2", version, err)
+	}
+}
+
+// TestReportAuditContent checks the audit section of the report: zero
+// violations on the proposed solution, per-core reachable state sets within
+// the MEI reduction, and populated per-line timelines.
+func TestReportAuditContent(t *testing.T) {
+	_, res, rep := runWCSReport(t)
+	if rep.Audit == nil {
+		t.Fatal("audit summary missing from report")
+	}
+	a := rep.Audit
+	if a.ViolationCount != 0 || len(a.Violations) != 0 {
+		t.Fatalf("invariant violations on the proposed solution: %d %v", a.ViolationCount, a.Violations)
+	}
+	if len(a.Reachable) != 2 {
+		t.Fatalf("reachable sets for %d cores, want 2", len(a.Reachable))
+	}
+	for core, states := range a.Reachable {
+		for _, s := range states {
+			if s == "S" || s == "O" {
+				t.Errorf("core %d reached state %s under MEI reduction", core, s)
+			}
+		}
+	}
+	if a.TransitionCount == 0 || len(a.Lines) == 0 {
+		t.Fatalf("no per-line timelines accumulated: %d transitions, %d lines", a.TransitionCount, len(a.Lines))
+	}
+	if len(a.Events) == 0 || a.Events["state-change"] == 0 {
+		t.Fatalf("events-by-kind not populated: %v", a.Events)
+	}
+	if res.Audit == nil || res.Audit.ViolationCount != a.ViolationCount {
+		t.Fatal("Result.Audit and report audit disagree")
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"hetcc/internal/audit"
 	"hetcc/internal/bus"
 	"hetcc/internal/cache"
 	"hetcc/internal/cpu"
@@ -113,6 +114,10 @@ type Result struct {
 	// only when Config.Metrics is on; bounded, see maxTenures).  The
 	// Chrome-trace exporter turns them into duration events.
 	Tenures []bus.Tenure
+	// Audit is the invariant auditor's summary: violations, events by kind,
+	// observed reachable states per core, per-line transition counts (nil
+	// unless Config.Audit).
+	Audit *audit.Summary
 }
 
 // Deadlocked reports whether the run ended in the paper's hardware
@@ -159,6 +164,11 @@ func (p *Platform) Run(maxCycles uint64) Result {
 	if p.Metrics != nil {
 		res.Metrics = p.Metrics.Snapshot()
 		res.Tenures = p.tenures
+	}
+	if p.auditor != nil {
+		s := p.auditor.Summary()
+		s.Events = p.events.Counts()
+		res.Audit = &s
 	}
 	if p.vcd != nil {
 		_ = p.vcd.w.Close(p.Engine.Now())

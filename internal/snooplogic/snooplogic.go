@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"hetcc/internal/bus"
+	"hetcc/internal/event"
 	"hetcc/internal/metrics"
 	"hetcc/internal/trace"
 )
@@ -71,6 +72,9 @@ type SnoopLogic struct {
 	hitCycle map[uint32]uint64
 	mHits    *metrics.Counter
 	mDrain   *metrics.Histogram
+
+	// nil-safe coherence event sink (see SetEvents)
+	events *event.Sink
 }
 
 // New creates the snoop logic for the processor whose cache controller owns
@@ -113,6 +117,10 @@ func (sl *SnoopLogic) SetMetrics(r *metrics.Registry) {
 	sl.mDrain = r.Histogram("snoop.drain.buscycles")
 }
 
+// SetEvents attaches the snoop logic to a coherence event sink.  A nil sink
+// makes every emission a single nil check.
+func (sl *SnoopLogic) SetEvents(s *event.Sink) { sl.events = s }
+
 func (sl *SnoopLogic) align(addr uint32) uint32 {
 	return addr &^ (sl.lineBytes - 1)
 }
@@ -131,6 +139,7 @@ func (sl *SnoopLogic) SnoopBus(t *bus.Transaction) bus.SnoopReply {
 	}
 	sl.stats.Hits++
 	sl.mHits.Inc()
+	sl.events.SnoopHit(sl.owner, base, t.Kind.CoherenceOp())
 	sl.pending[base] = true
 	sl.hitCycle[base] = sl.bus.Cycle()
 	sl.retried[base] = t.Master
@@ -211,6 +220,7 @@ func (sl *SnoopLogic) Complete(lineBase uint32, wasResident bool) {
 		sl.mDrain.Observe(sl.bus.Cycle() - start)
 		delete(sl.hitCycle, base)
 	}
+	sl.events.Drain(sl.owner, base)
 	if m, ok := sl.retried[base]; ok {
 		// Hand the bus straight back to the master the ISR was blocking so
 		// its retry wins before this core can re-cache the line.

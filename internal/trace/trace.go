@@ -72,16 +72,18 @@ func (l *Log) at(i int) Event {
 	return l.events[j]
 }
 
-// Events returns the retained events, oldest first.
-func (l *Log) Events() []Event {
+// Events returns a snapshot of the retained events in ring order (oldest
+// first) together with the count of events the ring bound discarded before
+// the snapshot's first entry.
+func (l *Log) Events() (events []Event, dropped uint64) {
 	if l == nil {
-		return nil
+		return nil, 0
 	}
-	out := make([]Event, len(l.events))
-	for i := range out {
-		out[i] = l.at(i)
+	events = make([]Event, len(l.events))
+	for i := range events {
+		events[i] = l.at(i)
 	}
-	return out
+	return events, l.dropped
 }
 
 // Dropped reports how many events were discarded by the ring bound.

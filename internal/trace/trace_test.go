@@ -11,8 +11,11 @@ func TestNilLogIsSafe(t *testing.T) {
 	if l.Enabled() || l.Len() != 0 || l.Dropped() != 0 {
 		t.Fatal("nil log misbehaves")
 	}
-	if l.Events() != nil || l.Grep("x") != nil {
+	if evs, dropped := l.Events(); evs != nil || dropped != 0 {
 		t.Fatal("nil log returns events")
+	}
+	if l.Grep("x") != nil {
+		t.Fatal("nil log greps")
 	}
 	if n, err := l.WriteTo(&strings.Builder{}); n != 0 || err != nil {
 		t.Fatal("nil WriteTo")
@@ -23,9 +26,12 @@ func TestAddAndEvents(t *testing.T) {
 	l := NewLog(10)
 	l.Addf(5, "bus", "grant %s", "m0")
 	l.Addf(6, "bus", "done")
-	evs := l.Events()
+	evs, dropped := l.Events()
 	if len(evs) != 2 || evs[0].Cycle != 5 || evs[0].Unit != "bus" || evs[0].Msg != "grant m0" {
 		t.Fatalf("events %v", evs)
+	}
+	if dropped != 0 {
+		t.Fatalf("dropped %d, want 0", dropped)
 	}
 }
 
@@ -40,9 +46,12 @@ func TestRingBound(t *testing.T) {
 	if l.Dropped() != 7 {
 		t.Fatalf("dropped %d, want 7", l.Dropped())
 	}
-	evs := l.Events()
+	evs, dropped := l.Events()
 	if evs[0].Msg != "e7" || evs[2].Msg != "e9" {
 		t.Fatalf("kept %v, want the newest three", evs)
+	}
+	if dropped != 7 {
+		t.Fatalf("snapshot dropped %d, want 7", dropped)
 	}
 }
 
@@ -84,7 +93,7 @@ func TestRingMultipleWraps(t *testing.T) {
 	for i := 0; i < 103; i++ { // 103 % 4 != 0, so head ends mid-ring
 		l.Addf(uint64(i), "u", "e%d", i)
 	}
-	evs := l.Events()
+	evs, _ := l.Events()
 	if len(evs) != 4 {
 		t.Fatalf("len %d, want 4", len(evs))
 	}

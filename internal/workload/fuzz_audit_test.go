@@ -1,0 +1,75 @@
+package workload_test
+
+import (
+	"testing"
+
+	"hetcc"
+	"hetcc/internal/platform"
+	"hetcc/internal/workload"
+)
+
+// FuzzAuditedRuns runs fuzzed (small) workloads on all three case-study
+// platforms under every solution and scenario with the invariant auditor on:
+// whatever the parameters, a run that completes must be coherent and produce
+// zero invariant violations.  (This package is workload_test so it can drive
+// the full simulator through the hetcc facade without an import cycle.)
+func FuzzAuditedRuns(f *testing.F) {
+	f.Add(4, 1, 2, 4, uint64(1))
+	f.Add(8, 2, 4, 8, uint64(42))
+	f.Add(1, 1, 1, 1, uint64(7))
+	f.Fuzz(func(t *testing.T, lines, execTime, iters, words int, seed uint64) {
+		// Keep fuzzed runs small enough that the 27-combination sweep stays
+		// fast; out-of-range inputs are covered by FuzzPrograms.
+		if lines < 1 || lines > 8 || execTime < 1 || execTime > 2 ||
+			iters < 1 || iters > 4 || words < 1 || words > 8 {
+			t.Skip("out of the audited-run envelope")
+		}
+		params := hetcc.Params{
+			Lines:        lines,
+			ExecTime:     execTime,
+			Iterations:   iters,
+			WordsPerLine: words,
+			Seed:         seed,
+		}
+		presets := []struct {
+			name  string
+			procs []platform.ProcessorSpec
+		}{
+			{"pf1", platform.ARMPair()},
+			{"pf2", platform.PPCARm()},
+			{"pf3", platform.PPCI486()},
+		}
+		for _, pf := range presets {
+			for _, scenario := range workload.Scenarios() {
+				for _, sol := range platform.Solutions() {
+					res, err := hetcc.Run(hetcc.Config{
+						Scenario:   scenario,
+						Solution:   sol,
+						Processors: pf.procs,
+						Params:     params,
+						Verify:     true,
+						Audit:      true,
+						MaxCycles:  5_000_000,
+					})
+					if err != nil {
+						t.Fatalf("%s/%v/%v: %v", pf.name, scenario, sol, err)
+					}
+					if res.Err != nil {
+						t.Fatalf("%s/%v/%v: run failed: %v", pf.name, scenario, sol, res.Err)
+					}
+					if !res.Coherent() {
+						t.Fatalf("%s/%v/%v: stale reads: %v", pf.name, scenario, sol, res.Violations)
+					}
+					a := res.Audit
+					if a == nil {
+						t.Fatalf("%s/%v/%v: audit summary missing", pf.name, scenario, sol)
+					}
+					if a.ViolationCount != 0 {
+						t.Fatalf("%s/%v/%v: %d invariant violations, first: %v",
+							pf.name, scenario, sol, a.ViolationCount, a.Violations[0])
+					}
+				}
+			}
+		}
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"hetcc/internal/cache"
 	"hetcc/internal/coherence"
 	"hetcc/internal/core"
+	"hetcc/internal/event"
 	"hetcc/internal/metrics"
 )
 
@@ -35,6 +36,11 @@ type Wrapper struct {
 	// shared-signal samples.  All nil-safe (see SetMetrics).
 	mConvert  map[coherence.BusOp]*metrics.Counter
 	mOverride *metrics.Counter
+
+	// nil-safe coherence event sink (see SetEvents); core is the owning
+	// processor's index, stamped on every record.
+	events *event.Sink
+	core   int
 }
 
 var _ cache.Policy = (*Wrapper)(nil)
@@ -67,6 +73,13 @@ func (w *Wrapper) SetMetrics(r *metrics.Registry) {
 	w.mOverride = r.Counter(fmt.Sprintf("wrapper.%s.shared.overrides", w.name))
 }
 
+// SetEvents attaches the wrapper to a coherence event sink; core is the
+// owning processor's index.  A nil sink makes every emission a nil check.
+func (w *Wrapper) SetEvents(s *event.Sink, core int) {
+	w.events = s
+	w.core = core
+}
+
 // ConvertSnoop implements cache.Policy: the read-to-write conversion of the
 // paper's Figure 1 (equivalently, asserting the Intel486 INV pin on read
 // snoop cycles).
@@ -75,6 +88,7 @@ func (w *Wrapper) ConvertSnoop(op coherence.BusOp) coherence.BusOp {
 	if converted != op {
 		w.Conversions++
 		w.mConvert[op].Inc() // nil map lookup yields a nil (no-op) counter
+		w.events.WrapperConvert(w.core, op, converted)
 	}
 	return converted
 }
@@ -85,6 +99,7 @@ func (w *Wrapper) OverrideShared(shared bool) bool {
 	if out != shared {
 		w.Overrides++
 		w.mOverride.Inc()
+		w.events.SharedOverride(w.core, shared, out)
 	}
 	return out
 }
