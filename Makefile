@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify bench bench-metrics bench-audit fmt vet
+.PHONY: all build test race verify bench bench-metrics bench-audit fmt vet
 
 all: build
 
@@ -15,8 +15,14 @@ build:
 test:
 	$(GO) test ./...
 
-verify: fmt vet
+# Race-detector pass: load-bearing now that internal/runner fans simulations
+# across goroutines (cmd/experiments -jobs, protocheck -audit -jobs, the
+# audited fuzz sweep, and the jobs=1-vs-8 determinism tests all run
+# concurrent platforms).
+race:
 	$(GO) test -race ./...
+
+verify: fmt vet race
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -1,0 +1,164 @@
+package hetcc_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"hetcc"
+	"hetcc/internal/platform"
+	"hetcc/internal/workload"
+)
+
+// determinismBatch is a representative run matrix: every case-study platform
+// × scenario × solution, with verification and auditing on so the reports
+// carry the full schema-v2 payload (stats, violations, audit summary).
+func determinismBatch(t *testing.T) []hetcc.BatchSpec {
+	t.Helper()
+	presets := []struct {
+		name  string
+		procs []platform.ProcessorSpec
+	}{
+		{"pf1", platform.ARMPair()},
+		{"pf2", platform.PPCARm()},
+		{"pf3", platform.PPCI486()},
+	}
+	var specs []hetcc.BatchSpec
+	for _, pf := range presets {
+		for _, scenario := range workload.Scenarios() {
+			for _, sol := range platform.Solutions() {
+				specs = append(specs, hetcc.BatchSpec{
+					Label: fmt.Sprintf("%s/%v/%v", pf.name, scenario, sol),
+					Config: hetcc.Config{
+						Scenario:   scenario,
+						Solution:   sol,
+						Processors: pf.procs,
+						Params:     hetcc.Params{Lines: 4, ExecTime: 1, Iterations: 2},
+						Verify:     true,
+						Audit:      true,
+						MaxCycles:  5_000_000,
+					},
+				})
+			}
+		}
+	}
+	return specs
+}
+
+// TestBatchDeterminismAcrossJobs is the determinism regression test of the
+// parallel runner: the same spec batch run with jobs=1 and jobs=8 must
+// produce byte-identical JSON run reports and identical audit digests, run
+// by run and in aggregate.
+func TestBatchDeterminismAcrossJobs(t *testing.T) {
+	specs := determinismBatch(t)
+	seq := hetcc.RunBatch(specs, hetcc.BatchOptions{Jobs: 1, Reports: true})
+	par := hetcc.RunBatch(specs, hetcc.BatchOptions{Jobs: 8, Reports: true})
+	if err := hetcc.BatchFirstError(seq); err != nil {
+		t.Fatalf("jobs=1 batch failed: %v", err)
+	}
+	if err := hetcc.BatchFirstError(par); err != nil {
+		t.Fatalf("jobs=8 batch failed: %v", err)
+	}
+	if len(seq) != len(specs) || len(par) != len(specs) {
+		t.Fatalf("result counts: jobs=1 %d, jobs=8 %d, want %d", len(seq), len(par), len(specs))
+	}
+	for i := range specs {
+		a, b := seq[i], par[i]
+		if a.Label != specs[i].Label || b.Label != specs[i].Label {
+			t.Fatalf("run %d: labels %q / %q, want %q (ordered aggregation broken)", i, a.Label, b.Label, specs[i].Label)
+		}
+		rawA, err := json.Marshal(a.Report)
+		if err != nil {
+			t.Fatalf("%s: marshal jobs=1 report: %v", a.Label, err)
+		}
+		rawB, err := json.Marshal(b.Report)
+		if err != nil {
+			t.Fatalf("%s: marshal jobs=8 report: %v", b.Label, err)
+		}
+		if !bytes.Equal(rawA, rawB) {
+			t.Errorf("%s: jobs=1 and jobs=8 reports differ:\n%s\n---\n%s", a.Label, rawA, rawB)
+		}
+		if a.Digest == "" || a.Digest != b.Digest {
+			t.Errorf("%s: digest mismatch: jobs=1 %q, jobs=8 %q", a.Label, a.Digest, b.Digest)
+		}
+		if a.Result.Cycles != b.Result.Cycles {
+			t.Errorf("%s: cycle counts differ: %d vs %d", a.Label, a.Result.Cycles, b.Result.Cycles)
+		}
+	}
+	dSeq, err := hetcc.BatchDigest(seq)
+	if err != nil {
+		t.Fatalf("jobs=1 batch digest: %v", err)
+	}
+	dPar, err := hetcc.BatchDigest(par)
+	if err != nil {
+		t.Fatalf("jobs=8 batch digest: %v", err)
+	}
+	if dSeq != dPar {
+		t.Fatalf("aggregate batch digests differ: %s vs %s", dSeq, dPar)
+	}
+}
+
+// TestBatchDerivedSeedsDeterministic: BaseSeed-derived per-run seeds are a
+// pure function of the batch position, so derived-seed batches reproduce
+// across worker counts too — and distinct positions draw distinct streams.
+func TestBatchDerivedSeedsDeterministic(t *testing.T) {
+	var specs []hetcc.BatchSpec
+	for i := 0; i < 6; i++ {
+		specs = append(specs, hetcc.BatchSpec{
+			Label: fmt.Sprintf("tcs-%d", i),
+			Config: hetcc.Config{
+				Scenario:  hetcc.TCS,
+				Solution:  hetcc.Proposed,
+				Params:    hetcc.Params{Lines: 2, ExecTime: 1, Iterations: 2},
+				Verify:    true,
+				MaxCycles: 5_000_000,
+			},
+		})
+	}
+	opts := func(jobs int) hetcc.BatchOptions {
+		return hetcc.BatchOptions{Jobs: jobs, Reports: true, BaseSeed: 0xfeedface}
+	}
+	seq := hetcc.RunBatch(specs, opts(1))
+	par := hetcc.RunBatch(specs, opts(8))
+	if err := hetcc.BatchFirstError(seq); err != nil {
+		t.Fatalf("jobs=1: %v", err)
+	}
+	distinct := make(map[string]bool)
+	for i := range specs {
+		if seq[i].Digest != par[i].Digest {
+			t.Errorf("%s: derived-seed digests differ across job counts", specs[i].Label)
+		}
+		distinct[seq[i].Digest] = true
+	}
+	// TCS block selection is seed-driven: at least some of the six derived
+	// seeds must pick different block sequences.
+	if len(distinct) < 2 {
+		t.Fatalf("all %d derived-seed runs digested identically; seed derivation is not taking effect", len(specs))
+	}
+}
+
+// TestBatchErrorHandling: build errors land in BatchResult.Err at the right
+// index, siblings are unaffected, and BatchDigest refuses failed batches.
+func TestBatchErrorHandling(t *testing.T) {
+	specs := []hetcc.BatchSpec{
+		{Label: "ok", Config: hetcc.Config{Scenario: hetcc.WCS, Solution: hetcc.Proposed,
+			Params: hetcc.Params{Lines: 1, ExecTime: 1, Iterations: 1}, MaxCycles: 5_000_000}},
+		{Label: "bad", Config: hetcc.Config{Scenario: hetcc.WCS, Solution: hetcc.Proposed,
+			Params: hetcc.Params{Lines: -3}, MaxCycles: 5_000_000}},
+	}
+	results := hetcc.RunBatch(specs, hetcc.BatchOptions{Jobs: 2, Reports: true})
+	if results[0].Err != nil || results[0].Result.Err != nil {
+		t.Fatalf("ok run failed: %v / %v", results[0].Err, results[0].Result.Err)
+	}
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), `"bad"`) {
+		t.Fatalf("bad run error = %v, want labelled build failure", results[1].Err)
+	}
+	if err := hetcc.BatchFirstError(results); err == nil {
+		t.Fatal("BatchFirstError missed the failure")
+	}
+	if _, err := hetcc.BatchDigest(results); err == nil {
+		t.Fatal("BatchDigest accepted a failed batch")
+	}
+}

@@ -9,6 +9,14 @@
 //	experiments -table 2        # one table (1, 2, 3 or 4)
 //	experiments -format csv     # machine-readable output
 //	experiments -iterations 16  # longer runs
+//	experiments -jobs 8         # fan the run matrix across 8 workers
+//
+// The figure sweeps fan out across -jobs workers (default: all CPUs) on the
+// deterministic batch executor (internal/runner); results are aggregated in
+// sweep order, so stdout is byte-identical whatever the worker count.  The
+// elapsed wall clock is reported on stderr.  Any coherence violation — a
+// golden-model stale read, or an invariant-auditor violation under -audit —
+// makes the command exit non-zero.
 package main
 
 import (
@@ -17,6 +25,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"time"
 
 	"hetcc"
 	"hetcc/internal/platform"
@@ -30,6 +40,8 @@ var (
 	iterations = flag.Int("iterations", 0, "critical-section entries per task (0 = default)")
 	seed       = flag.Uint64("seed", 0, "workload seed")
 	verify     = flag.Bool("verify", true, "run the golden-model checker in every simulation")
+	auditFlag  = flag.Bool("audit", false, "run the online invariant auditor in every simulation; violations exit non-zero")
+	jobs       = flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers for the figure sweeps")
 	platFlag   = flag.String("platform", "pf2", "evaluation platform: pf2 (PowerPC755+ARM920T, the paper's) or pf3 (PowerPC755+Intel486)")
 	reportFlag = flag.String("report", "", "write a machine-readable JSON report of the regenerated figure points to this file")
 )
@@ -65,8 +77,9 @@ var report = figureReport{
 
 func main() {
 	flag.Parse()
+	start := time.Now()
 	out := os.Stdout
-	opts := hetcc.FigureOptions{Iterations: *iterations, Seed: *seed, Verify: *verify}
+	opts := hetcc.FigureOptions{Iterations: *iterations, Seed: *seed, Verify: *verify, Audit: *auditFlag, Jobs: *jobs}
 	switch *platFlag {
 	case "pf2", "":
 		// the paper's measurement platform (default)
@@ -121,6 +134,9 @@ func main() {
 		fatalIf(f.Close())
 		fmt.Printf("figure report written to %s\n", *reportFlag)
 	}
+	// Stderr, not stdout: stdout must stay byte-identical across -jobs
+	// values (the determinism contract callers diff against).
+	fmt.Fprintf(os.Stderr, "experiments: done in %v (%d workers)\n", time.Since(start).Round(time.Millisecond), *jobs)
 }
 
 func render(w io.Writer, t *stats.Table) {

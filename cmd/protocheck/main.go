@@ -10,12 +10,18 @@
 //	protocheck -protocols MEI,MESI # one combination (2..4 protocols)
 //	protocheck -replay             # also replay Tables 2/3 on the full simulator
 //	protocheck -audit              # machine-verify the reduction table on live runs
+//	protocheck -audit -jobs 8      # ... fanned across 8 simulation workers
+//
+// Any verification failure — a model-check violation of the requested
+// combination, or a live-run audit violation — makes the command exit
+// non-zero.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"hetcc"
@@ -24,6 +30,8 @@ import (
 	"hetcc/internal/platform"
 	"hetcc/internal/stats"
 )
+
+var jobs = flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers for the -audit sweep")
 
 func main() {
 	var (
@@ -166,22 +174,34 @@ func auditMatrix() error {
 		combo{label: "PF3 (PPC+i486)", procs: platform.PPCI486()},
 	)
 
+	// The matrix fans out across the deterministic batch executor; rows are
+	// aggregated in combo order, so the table is byte-identical whatever the
+	// worker count.
+	specs := make([]hetcc.BatchSpec, len(combos))
+	for i, c := range combos {
+		specs[i] = hetcc.BatchSpec{
+			Label: c.label,
+			Config: hetcc.Config{
+				Scenario:   hetcc.WCS,
+				Solution:   hetcc.Proposed,
+				Processors: c.procs,
+				Params:     hetcc.Params{Lines: 8, ExecTime: 1, Iterations: 4, WordsPerLine: 8},
+				Verify:     true,
+				Audit:      true,
+				MaxCycles:  5_000_000,
+			},
+		}
+	}
+	results := hetcc.RunBatch(specs, hetcc.BatchOptions{Jobs: *jobs})
+
 	t := stats.NewTable("Reduction table, machine-verified on live runs (WCS, proposed solution)",
 		"platform", "effective", "P0 observed", "P1 observed", "violations", "verdict")
 	failures := 0
-	for _, c := range combos {
-		res, err := hetcc.Run(hetcc.Config{
-			Scenario:   hetcc.WCS,
-			Solution:   hetcc.Proposed,
-			Processors: c.procs,
-			Params:     hetcc.Params{Lines: 8, ExecTime: 1, Iterations: 4, WordsPerLine: 8},
-			Verify:     true,
-			Audit:      true,
-			MaxCycles:  5_000_000,
-		})
-		if err != nil {
+	for i, c := range combos {
+		if err := results[i].Err; err != nil {
 			return err
 		}
+		res := results[i].Result
 		if res.Err != nil {
 			return fmt.Errorf("%s: run failed: %w", c.label, res.Err)
 		}
@@ -321,13 +341,15 @@ func check(kinds []coherence.Kind, verbose bool) error {
 	}
 	if len(res.Violations) == 0 {
 		fmt.Println("result: SOUND (no stale reads, no out-of-protocol states)")
-	} else {
-		fmt.Printf("result: %d VIOLATIONS\n", len(res.Violations))
-		for _, v := range res.Violations {
-			fmt.Printf("  %v\n", v)
-		}
+		return nil
 	}
-	return nil
+	fmt.Printf("result: %d VIOLATIONS\n", len(res.Violations))
+	for _, v := range res.Violations {
+		fmt.Printf("  %v\n", v)
+	}
+	// A violated combination is a failed check: exit non-zero instead of
+	// only printing the verdict.
+	return fmt.Errorf("%d model-check violation(s) for %v", len(res.Violations), kinds)
 }
 
 func fatalIf(err error) {

@@ -4,23 +4,32 @@
 // software, WCS and BCS at 32 lines) responds.  It shows which of the
 // paper's conclusions are robust to calibration and which are sensitive.
 //
+// Every sweep's runs fan out across -jobs workers (default: all CPUs) on
+// the deterministic batch executor; rows are aggregated in sweep order, so
+// output is byte-identical whatever the worker count.
+//
 // Usage:
 //
 //	sensitivity              # all sweeps
 //	sensitivity -sweep isr   # one sweep: isr, drain, access, clock, cache, pipeline
+//	sensitivity -jobs 8      # eight simulation workers
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"hetcc"
 	"hetcc/internal/platform"
 	"hetcc/internal/stats"
 )
 
-var sweepFlag = flag.String("sweep", "", "sweep to run: isr, wrapper, drain, access, clock, cache, pipeline (empty = all)")
+var (
+	sweepFlag = flag.String("sweep", "", "sweep to run: isr, wrapper, drain, access, clock, cache, pipeline (empty = all)")
+	jobsFlag  = flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers")
+)
 
 func main() {
 	flag.Parse()
@@ -42,35 +51,55 @@ func main() {
 	run("pipeline", sweepPipeline)
 }
 
-// point runs one (scenario, specs) pair and returns the proposed-solution
-// speedup over software in percent.
-func point(s hetcc.Scenario, specs []platform.ProcessorSpec, pipelined bool) float64 {
-	var cycles [2]uint64
-	for i, sol := range []hetcc.Solution{hetcc.Software, hetcc.Proposed} {
-		res, err := hetcc.Run(hetcc.Config{
-			Scenario:     s,
-			Solution:     sol,
-			Processors:   specs,
-			PipelinedBus: pipelined,
-			Params:       hetcc.Params{Lines: 32, ExecTime: 1},
-		})
-		fatalIf(err)
-		if res.Err != nil {
-			fatalIf(res.Err)
+// row is one x-position of a sweep: a platform (and bus) variant to measure.
+type row struct {
+	label     string
+	specs     []platform.ProcessorSpec
+	pipelined bool
+}
+
+// speedups measures every row's WCS and BCS speedup of the proposed solution
+// over software (32 lines, exec_time 1), batching the whole sweep — rows ×
+// {WCS, BCS} × {software, proposed} — across the worker pool.
+func speedups(rows []row) [][2]float64 {
+	scenarios := []hetcc.Scenario{hetcc.WCS, hetcc.BCS}
+	solutions := []hetcc.Solution{hetcc.Software, hetcc.Proposed}
+	var specs []hetcc.BatchSpec
+	for _, r := range rows {
+		for _, s := range scenarios {
+			for _, sol := range solutions {
+				specs = append(specs, hetcc.BatchSpec{
+					Label: fmt.Sprintf("%s/%v/%v", r.label, s, sol),
+					Config: hetcc.Config{
+						Scenario:     s,
+						Solution:     sol,
+						Processors:   r.specs,
+						PipelinedBus: r.pipelined,
+						Params:       hetcc.Params{Lines: 32, ExecTime: 1},
+					},
+				})
+			}
 		}
-		cycles[i] = res.Cycles
 	}
-	return stats.SpeedupPct(cycles[1], cycles[0])
+	results := hetcc.RunBatch(specs, hetcc.BatchOptions{Jobs: *jobsFlag})
+	fatalIf(hetcc.BatchFirstError(results))
+	out := make([][2]float64, len(rows))
+	i := 0
+	for ri := range rows {
+		for si := range scenarios {
+			software := results[i].Result.Cycles
+			proposed := results[i+1].Result.Cycles
+			i += 2
+			out[ri][si] = stats.SpeedupPct(proposed, software)
+		}
+	}
+	return out
 }
 
-func wcsBcs(specs []platform.ProcessorSpec, pipelined bool) (float64, float64) {
-	return point(hetcc.WCS, specs, pipelined), point(hetcc.BCS, specs, pipelined)
-}
-
-func render(title string, xName string, xs []string, rows [][2]float64) {
+func render(title string, xName string, rows []row, vals [][2]float64) {
 	t := stats.NewTable(title, xName, "WCS speedup %", "BCS speedup %")
-	for i, x := range xs {
-		t.AddRow(x, fmt.Sprintf("%+.2f", rows[i][0]), fmt.Sprintf("%+.2f", rows[i][1]))
+	for i, r := range rows {
+		t.AddRow(r.label, fmt.Sprintf("%+.2f", vals[i][0]), fmt.Sprintf("%+.2f", vals[i][1]))
 	}
 	t.Render(os.Stdout)
 	fmt.Println()
@@ -79,117 +108,86 @@ func render(title string, xName string, xs []string, rows [][2]float64) {
 // sweepISR varies the ARM920T interrupt response time — the paper's
 // "interrupt response time" of Figure 4 and the reason PF3 beats PF2.
 func sweepISR() {
-	values := []int{0, 2, 4, 8, 16, 32, 64}
-	var xs []string
-	var rows [][2]float64
-	for _, v := range values {
+	var rows []row
+	for _, v := range []int{0, 2, 4, 8, 16, 32, 64} {
 		specs := platform.PPCARm()
 		specs[1].InterruptResponse = v
-		w, b := wcsBcs(specs, false)
-		xs = append(xs, fmt.Sprintf("%d", v))
-		rows = append(rows, [2]float64{w, b})
+		rows = append(rows, row{label: fmt.Sprintf("%d", v), specs: specs})
 	}
-	render("Sensitivity: ARM920T interrupt response time (CPU cycles; default 4)", "response", xs, rows)
+	render("Sensitivity: ARM920T interrupt response time (CPU cycles; default 4)", "response", rows, speedups(rows))
 }
 
 // sweepWrapper varies the wrapper's per-transaction protocol-conversion
 // cost (charged only under the proposed strategy, so it eats directly into
 // the proposed solution's advantage).
 func sweepWrapper() {
-	values := []int{0, 1, 2, 4, 8}
-	var xs []string
-	var rows [][2]float64
-	for _, v := range values {
+	var rows []row
+	for _, v := range []int{0, 1, 2, 4, 8} {
 		specs := platform.PPCARm()
 		for i := range specs {
 			specs[i].WrapperLatency = v
 		}
-		w, b := wcsBcs(specs, false)
-		xs = append(xs, fmt.Sprintf("%d", v))
-		rows = append(rows, [2]float64{w, b})
+		rows = append(rows, row{label: fmt.Sprintf("%d", v), specs: specs})
 	}
-	render("Sensitivity: wrapper conversion latency per transaction (bus cycles; default 0)", "latency", xs, rows)
+	render("Sensitivity: wrapper conversion latency per transaction (bus cycles; default 0)", "latency", rows, speedups(rows))
 }
 
 // sweepDrain varies the software solution's per-line drain-loop overhead.
 func sweepDrain() {
-	values := []int{4, 8, 12, 16, 24}
-	var xs []string
-	var rows [][2]float64
-	for _, v := range values {
+	var rows []row
+	for _, v := range []int{4, 8, 12, 16, 24} {
 		specs := platform.PPCARm()
 		for i := range specs {
 			specs[i].CacheOpOverhead = v
 		}
-		w, b := wcsBcs(specs, false)
-		xs = append(xs, fmt.Sprintf("%d", v))
-		rows = append(rows, [2]float64{w, b})
+		rows = append(rows, row{label: fmt.Sprintf("%d", v), specs: specs})
 	}
-	render("Sensitivity: software drain-loop overhead per line (CPU cycles; default 12)", "overhead", xs, rows)
+	render("Sensitivity: software drain-loop overhead per line (CPU cycles; default 12)", "overhead", rows, speedups(rows))
 }
 
 // sweepAccess varies the per-load/store instruction overhead.
 func sweepAccess() {
-	values := []int{0, 1, 3, 6, 10}
-	var xs []string
-	var rows [][2]float64
-	for _, v := range values {
+	var rows []row
+	for _, v := range []int{0, 1, 3, 6, 10} {
 		specs := platform.PPCARm()
 		for i := range specs {
 			specs[i].AccessOverhead = v
 		}
-		w, b := wcsBcs(specs, false)
-		xs = append(xs, fmt.Sprintf("%d", v))
-		rows = append(rows, [2]float64{w, b})
+		rows = append(rows, row{label: fmt.Sprintf("%d", v), specs: specs})
 	}
-	render("Sensitivity: per-access instruction overhead (CPU cycles; default 3)", "overhead", xs, rows)
+	render("Sensitivity: per-access instruction overhead (CPU cycles; default 3)", "overhead", rows, speedups(rows))
 }
 
 // sweepClock varies the ARM clock divisor (the paper runs it at half the
 // PowerPC's frequency).
 func sweepClock() {
-	values := []uint64{1, 2, 4}
-	var xs []string
-	var rows [][2]float64
-	for _, v := range values {
+	var rows []row
+	for _, v := range []uint64{1, 2, 4} {
 		specs := platform.PPCARm()
 		specs[1].ClockDiv = v
-		w, b := wcsBcs(specs, false)
-		xs = append(xs, fmt.Sprintf("1/%d", v))
-		rows = append(rows, [2]float64{w, b})
+		rows = append(rows, row{label: fmt.Sprintf("1/%d", v), specs: specs})
 	}
-	render("Sensitivity: ARM920T clock ratio (of the 100 MHz engine; default 1/2)", "ratio", xs, rows)
+	render("Sensitivity: ARM920T clock ratio (of the 100 MHz engine; default 1/2)", "ratio", rows, speedups(rows))
 }
 
 // sweepCache varies the ARM data-cache size.
 func sweepCache() {
-	values := []int{4, 8, 16, 32}
-	var xs []string
-	var rows [][2]float64
-	for _, v := range values {
+	var rows []row
+	for _, v := range []int{4, 8, 16, 32} {
 		specs := platform.PPCARm()
 		specs[1].Cache.SizeBytes = v * 1024
-		w, b := wcsBcs(specs, false)
-		xs = append(xs, fmt.Sprintf("%dKB", v))
-		rows = append(rows, [2]float64{w, b})
+		rows = append(rows, row{label: fmt.Sprintf("%dKB", v), specs: specs})
 	}
-	render("Sensitivity: ARM920T data-cache size (default 16KB)", "size", xs, rows)
+	render("Sensitivity: ARM920T data-cache size (default 16KB)", "size", rows, speedups(rows))
 }
 
 // sweepPipeline contrasts the plain ASB with the AHB-style pipelined bus.
 func sweepPipeline() {
-	var xs []string
-	var rows [][2]float64
-	for _, piped := range []bool{false, true} {
-		w, b := wcsBcs(platform.PPCARm(), piped)
-		name := "ASB (plain)"
-		if piped {
-			name = "AHB-style (pipelined)"
-		}
-		xs = append(xs, name)
-		rows = append(rows, [2]float64{w, b})
+	rows := []row{
+		{label: "ASB (plain)", specs: platform.PPCARm()},
+		{label: "AHB-style (pipelined)", specs: platform.PPCARm(), pipelined: true},
 	}
-	render("Sensitivity: bus pipelining", "bus", xs, rows)
+	render("Sensitivity: bus pipelining", "bus", rows, speedups(rows))
 }
 
 func fatalIf(err error) {

@@ -64,6 +64,13 @@ type FigureOptions struct {
 	Timing     memory.Timing
 	Processors []platform.ProcessorSpec
 	Verify     bool
+	// Audit additionally runs the online invariant auditor in every
+	// simulation; any invariant violation fails the figure.
+	Audit bool
+	// Jobs is the batch worker count (<= 0 selects GOMAXPROCS).  Points are
+	// aggregated in sweep order, so the figure output is byte-identical
+	// whatever the worker count.
+	Jobs int
 }
 
 func (o FigureOptions) defaults() FigureOptions {
@@ -76,58 +83,88 @@ func (o FigureOptions) defaults() FigureOptions {
 	return o
 }
 
-// runScenarioPoint simulates all three strategies for one (scenario,
-// exec_time, lines) coordinate.
-func runScenarioPoint(s Scenario, execTime, lines int, o FigureOptions) (RatioPoint, error) {
-	pt := RatioPoint{Scenario: s, ExecTime: execTime, Lines: lines}
-	for _, sol := range platform.Solutions() {
-		cfg := Config{
+// figureSpec builds the batch spec for one (scenario, solution, exec_time,
+// lines) coordinate of a Figure 5–7 sweep.
+func figureSpec(s Scenario, sol Solution, execTime, lines int, o FigureOptions) BatchSpec {
+	return BatchSpec{
+		Label: fmt.Sprintf("%v/%v/exec=%d/lines=%d", s, sol, execTime, lines),
+		Config: Config{
 			Scenario:   s,
 			Solution:   sol,
 			Processors: o.Processors,
 			Timing:     o.Timing,
 			Verify:     o.Verify,
+			Audit:      o.Audit,
 			Params: Params{
 				Lines:      lines,
 				ExecTime:   execTime,
 				Iterations: o.Iterations,
 				Seed:       o.Seed,
 			},
-		}
-		res, err := Run(cfg)
-		if err != nil {
-			return pt, err
-		}
-		if res.Err != nil {
-			return pt, fmt.Errorf("hetcc: %v/%v/exec=%d/lines=%d: %w", s, sol, execTime, lines, res.Err)
-		}
-		if len(res.Violations) > 0 {
-			return pt, fmt.Errorf("hetcc: %v/%v: coherence violation: %v", s, sol, res.Violations[0])
-		}
-		switch sol {
-		case CacheDisabled:
-			pt.CyclesDisabled = res.Cycles
-		case Software:
-			pt.CyclesSoftware = res.Cycles
-		case Proposed:
-			pt.CyclesProposed = res.Cycles
-		}
+		},
 	}
-	return ratios(pt), nil
+}
+
+// figureRunError turns a completed figure run into an error if it failed,
+// observed a stale read, or (when auditing) violated a coherence invariant.
+func figureRunError(r BatchResult) error {
+	if r.Err != nil {
+		return r.Err
+	}
+	res := r.Result
+	if res.Err != nil {
+		return fmt.Errorf("hetcc: %s: %w", r.Label, res.Err)
+	}
+	if len(res.Violations) > 0 {
+		return fmt.Errorf("hetcc: %s: coherence violation: %v", r.Label, res.Violations[0])
+	}
+	if res.Audit != nil && res.Audit.ViolationCount > 0 {
+		return fmt.Errorf("hetcc: %s: %d invariant violation(s), first: %v",
+			r.Label, res.Audit.ViolationCount, res.Audit.Violations[0])
+	}
+	return nil
 }
 
 // FigureRatios reproduces one of Figures 5–7: scenario s swept over
-// exec_time and line counts.
+// exec_time and line counts.  The sweep's runs execute on a worker pool of
+// opts.Jobs workers; points are assembled in sweep order.
 func FigureRatios(s Scenario, opts FigureOptions) ([]RatioPoint, error) {
 	o := opts.defaults()
-	var out []RatioPoint
+	// One run per (exec_time, lines, solution) coordinate, flattened in
+	// sweep order so aggregation (and any error reported) is independent of
+	// the worker count.
+	var specs []BatchSpec
 	for _, et := range o.ExecTimes {
 		for _, ln := range o.LineCounts {
-			pt, err := runScenarioPoint(s, et, ln, o)
-			if err != nil {
-				return nil, err
+			for _, sol := range platform.Solutions() {
+				specs = append(specs, figureSpec(s, sol, et, ln, o))
 			}
-			out = append(out, pt)
+		}
+	}
+	results := RunBatch(specs, BatchOptions{Jobs: o.Jobs})
+	for _, r := range results {
+		if err := figureRunError(r); err != nil {
+			return nil, err
+		}
+	}
+	var out []RatioPoint
+	i := 0
+	for _, et := range o.ExecTimes {
+		for _, ln := range o.LineCounts {
+			pt := RatioPoint{Scenario: s, ExecTime: et, Lines: ln}
+			for _, sol := range platform.Solutions() {
+				cycles := results[i].Result.Cycles
+				i++
+				switch sol {
+				case CacheDisabled:
+					pt.CyclesDisabled = cycles
+				case Software:
+					pt.CyclesSoftware = cycles
+				case Proposed:
+					pt.CyclesProposed = cycles
+				}
+			}
+			out = append(out, ratios(pt))
 		}
 	}
 	return out, nil
@@ -158,44 +195,56 @@ type PenaltyPoint struct {
 }
 
 // Figure8 reproduces the miss-penalty sweep: scenarios × lines ∈ {1, 32} ×
-// penalties.
+// penalties, batched like FigureRatios.
 func Figure8(penalties []int, opts FigureOptions) ([]PenaltyPoint, error) {
 	if len(penalties) == 0 {
 		penalties = DefaultMissPenalties()
 	}
 	o := opts.defaults()
-	var out []PenaltyPoint
-	for _, s := range []Scenario{WCS, TCS, BCS} {
-		for _, lines := range []int{1, 32} {
+	scenarios := []Scenario{WCS, TCS, BCS}
+	solutions := []Solution{Software, Proposed}
+	lineCounts := []int{1, 32}
+	var specs []BatchSpec
+	for _, s := range scenarios {
+		for _, lines := range lineCounts {
 			for _, pen := range penalties {
-				timing := memory.ScaledTiming(pen)
-				pt := PenaltyPoint{Scenario: s, Lines: lines, MissPenalty: pen}
-				for _, sol := range []Solution{Software, Proposed} {
-					res, err := Run(Config{
-						Scenario:   s,
-						Solution:   sol,
-						Processors: o.Processors,
-						Timing:     timing,
-						Verify:     o.Verify,
-						Params: Params{
-							Lines:      lines,
-							ExecTime:   1,
-							Iterations: o.Iterations,
-							Seed:       o.Seed,
+				for _, sol := range solutions {
+					specs = append(specs, BatchSpec{
+						Label: fmt.Sprintf("figure8 %v/%v lines=%d pen=%d", s, sol, lines, pen),
+						Config: Config{
+							Scenario:   s,
+							Solution:   sol,
+							Processors: o.Processors,
+							Timing:     memory.ScaledTiming(pen),
+							Verify:     o.Verify,
+							Audit:      o.Audit,
+							Params: Params{
+								Lines:      lines,
+								ExecTime:   1,
+								Iterations: o.Iterations,
+								Seed:       o.Seed,
+							},
 						},
 					})
-					if err != nil {
-						return nil, err
-					}
-					if res.Err != nil {
-						return nil, fmt.Errorf("hetcc: figure8 %v/%v pen=%d: %w", s, sol, pen, res.Err)
-					}
-					if sol == Software {
-						pt.CyclesSoftware = res.Cycles
-					} else {
-						pt.CyclesProposed = res.Cycles
-					}
 				}
+			}
+		}
+	}
+	results := RunBatch(specs, BatchOptions{Jobs: o.Jobs})
+	for _, r := range results {
+		if err := figureRunError(r); err != nil {
+			return nil, err
+		}
+	}
+	var out []PenaltyPoint
+	i := 0
+	for _, s := range scenarios {
+		for _, lines := range lineCounts {
+			for _, pen := range penalties {
+				pt := PenaltyPoint{Scenario: s, Lines: lines, MissPenalty: pen}
+				pt.CyclesSoftware = results[i].Result.Cycles
+				pt.CyclesProposed = results[i+1].Result.Cycles
+				i += 2
 				if pt.CyclesSoftware > 0 {
 					pt.RatioVsSoftware = float64(pt.CyclesProposed) / float64(pt.CyclesSoftware)
 					pt.SpeedupPct = (float64(pt.CyclesSoftware) - float64(pt.CyclesProposed)) / float64(pt.CyclesSoftware) * 100

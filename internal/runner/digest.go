@@ -1,0 +1,35 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"hetcc/internal/platform"
+)
+
+// ReportDigest returns the hex SHA-256 of the report's canonical JSON
+// encoding.  Reports carry no wall-clock fields (platform.Report's contract),
+// so a run re-executed under any worker count digests identically — the
+// determinism regression tests compare exactly these strings.
+func ReportDigest(rep platform.Report) (string, error) {
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		return "", fmt.Errorf("runner: digest: %w", err)
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// CombineDigests folds an ordered digest list into one batch digest.  The
+// fold is order-sensitive on purpose: it certifies both every per-run digest
+// and the aggregation order.
+func CombineDigests(digests []string) string {
+	h := sha256.New()
+	for _, d := range digests {
+		h.Write([]byte(d))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,6 +1,8 @@
 package workload_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"hetcc"
@@ -11,8 +13,11 @@ import (
 // FuzzAuditedRuns runs fuzzed (small) workloads on all three case-study
 // platforms under every solution and scenario with the invariant auditor on:
 // whatever the parameters, a run that completes must be coherent and produce
-// zero invariant violations.  (This package is workload_test so it can drive
-// the full simulator through the hetcc facade without an import cycle.)
+// zero invariant violations.  The 27-combination sweep fans out across the
+// deterministic batch executor (results checked in combination order), so it
+// also exercises concurrent simulations under `go test -race`.  (This package
+// is workload_test so it can drive the full simulator through the hetcc
+// facade without an import cycle.)
 func FuzzAuditedRuns(f *testing.F) {
 	f.Add(4, 1, 2, 4, uint64(1))
 	f.Add(8, 2, 4, 8, uint64(42))
@@ -39,36 +44,43 @@ func FuzzAuditedRuns(f *testing.F) {
 			{"pf2", platform.PPCARm()},
 			{"pf3", platform.PPCI486()},
 		}
+		var specs []hetcc.BatchSpec
 		for _, pf := range presets {
 			for _, scenario := range workload.Scenarios() {
 				for _, sol := range platform.Solutions() {
-					res, err := hetcc.Run(hetcc.Config{
-						Scenario:   scenario,
-						Solution:   sol,
-						Processors: pf.procs,
-						Params:     params,
-						Verify:     true,
-						Audit:      true,
-						MaxCycles:  5_000_000,
+					specs = append(specs, hetcc.BatchSpec{
+						Label: fmt.Sprintf("%s/%v/%v", pf.name, scenario, sol),
+						Config: hetcc.Config{
+							Scenario:   scenario,
+							Solution:   sol,
+							Processors: pf.procs,
+							Params:     params,
+							Verify:     true,
+							Audit:      true,
+							MaxCycles:  5_000_000,
+						},
 					})
-					if err != nil {
-						t.Fatalf("%s/%v/%v: %v", pf.name, scenario, sol, err)
-					}
-					if res.Err != nil {
-						t.Fatalf("%s/%v/%v: run failed: %v", pf.name, scenario, sol, res.Err)
-					}
-					if !res.Coherent() {
-						t.Fatalf("%s/%v/%v: stale reads: %v", pf.name, scenario, sol, res.Violations)
-					}
-					a := res.Audit
-					if a == nil {
-						t.Fatalf("%s/%v/%v: audit summary missing", pf.name, scenario, sol)
-					}
-					if a.ViolationCount != 0 {
-						t.Fatalf("%s/%v/%v: %d invariant violations, first: %v",
-							pf.name, scenario, sol, a.ViolationCount, a.Violations[0])
-					}
 				}
+			}
+		}
+		for _, r := range hetcc.RunBatch(specs, hetcc.BatchOptions{Jobs: runtime.GOMAXPROCS(0)}) {
+			if r.Err != nil {
+				t.Fatalf("%s: %v", r.Label, r.Err)
+			}
+			res := r.Result
+			if res.Err != nil {
+				t.Fatalf("%s: run failed: %v", r.Label, res.Err)
+			}
+			if !res.Coherent() {
+				t.Fatalf("%s: stale reads: %v", r.Label, res.Violations)
+			}
+			a := res.Audit
+			if a == nil {
+				t.Fatalf("%s: audit summary missing", r.Label)
+			}
+			if a.ViolationCount != 0 {
+				t.Fatalf("%s: %d invariant violations, first: %v",
+					r.Label, a.ViolationCount, a.Violations[0])
 			}
 		}
 	})
