@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify bench bench-metrics bench-audit fmt vet
+.PHONY: all build test race verify bench bench-diff gobench bench-metrics bench-audit fmt vet
 
 all: build
 
@@ -33,7 +33,18 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# Simulated-cycle benchmark suite (cmd/bench): 27 deterministic runs whose
+# cycle counts are machine-independent.  `make bench` refreshes BENCH_dev.json;
+# `make bench-diff` gates it against the committed baseline (exit 1 on any
+# >10% cycle regression), as CI does.
 bench:
+	$(GO) run ./cmd/bench -o BENCH_dev.json
+
+bench-diff: bench
+	$(GO) run ./cmd/bench diff BENCH_seed.json BENCH_dev.json
+
+# Wall-clock Go microbenchmarks (ns/op, allocations).
+gobench:
 	$(GO) test -run xxx -bench . -benchmem ./...
 
 # The metrics guard: the Disabled ns/op must stay within ~2% of a build

@@ -29,7 +29,7 @@ type BatchOptions struct {
 	// per-index seed via runner.DeriveSeed, so batch members draw distinct
 	// but reproducible workload streams.
 	BaseSeed uint64
-	// Reports additionally builds each run's schema-v2 report and its
+	// Reports additionally builds each run's versioned report and its
 	// SHA-256 digest (BatchResult.Report/Digest) for byte-identical
 	// aggregation checks.
 	Reports bool
@@ -41,8 +41,8 @@ type BatchResult struct {
 	Label string
 	// Result is the simulation outcome (zero when Err is non-nil).
 	Result Result
-	// Report is the run's machine-readable schema-v2 report (nil unless
-	// BatchOptions.Reports).
+	// Report is the run's machine-readable versioned report (nil unless
+	// BatchOptions.Reports; see platform.ReportSchemaVersion).
 	Report *platform.Report
 	// Digest is the hex SHA-256 of Report's canonical JSON (empty unless
 	// BatchOptions.Reports).

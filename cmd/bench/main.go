@@ -1,0 +1,359 @@
+// Command bench is the performance-regression harness: it runs the paper's
+// three microbenchmark scenarios under all three coherence solutions on the
+// three case-study platforms (27 deterministic simulations on the parallel
+// batch runner) and writes a versioned, digest-stamped JSON file of cycle
+// counts, per-cause stall breakdowns and bus utilisation.  Because the
+// simulator is cycle-accurate and deterministic, the cycle counts are exact
+// machine-independent performance numbers — any drift is a real behavioural
+// change, not noise.
+//
+//	bench -o BENCH_$(git rev-parse --short HEAD).json
+//	bench diff BENCH_seed.json BENCH_new.json            # exit 1 on regression
+//	bench -gobench 'BenchmarkMetrics' -o BENCH_dev.json  # add wall-clock ns/op
+//
+// `bench diff` compares two such files run by run: cycle-count increases
+// beyond -threshold (default 10%) fail the diff, decreases are reported as
+// improvements, and a run missing from the new file always fails.  Wall-clock
+// go-bench numbers are carried for context only — they are excluded from the
+// digest and never gate the diff.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"hetcc"
+	"hetcc/internal/platform"
+	"hetcc/internal/profile"
+)
+
+// Schema identifies the bench-file format; SchemaVersion is bumped on any
+// incompatible change.
+const (
+	Schema        = "hetcc.bench"
+	SchemaVersion = 1
+)
+
+// File is the on-disk bench result set.
+type File struct {
+	Schema        string `json:"schema"`
+	SchemaVersion int    `json:"schema_version"`
+	// Rev labels the revision the numbers were taken at (git short hash).
+	Rev string `json:"rev"`
+	// Params are the microbenchmark knobs shared by every run.
+	Params hetcc.Params `json:"params"`
+	// Runs holds one entry per platform × scenario × solution, in a fixed
+	// order.
+	Runs []Run `json:"runs"`
+	// GoBench carries optional wall-clock ns/op numbers from `go test
+	// -bench`.  Machine-dependent: excluded from Digest and from diffing.
+	GoBench []GoBench `json:"go_bench,omitempty"`
+	// Digest is the hex SHA-256 of the canonical JSON of (Params, Runs),
+	// certifying the deterministic portion of the file.
+	Digest string `json:"digest"`
+}
+
+// Run is one simulation's headline numbers.
+type Run struct {
+	// Name is "platform/scenario/solution", the diff join key.
+	Name     string `json:"name"`
+	Platform string `json:"platform"`
+	Scenario string `json:"scenario"`
+	Solution string `json:"solution"`
+	// Cycles is the execution time in engine cycles — the paper's metric
+	// and the regression gate.
+	Cycles    uint64 `json:"cycles"`
+	BusCycles uint64 `json:"bus_cycles"`
+	// BusUtilization is busy/(busy+idle) on the bus clock.
+	BusUtilization float64 `json:"bus_utilization"`
+	// Stalls is the per-core stall-cause breakdown from the cycle ledger.
+	Stalls []profile.CoreSummary `json:"stalls"`
+}
+
+// GoBench is one parsed `go test -bench` line.
+type GoBench struct {
+	Name string  `json:"name"`
+	NsOp float64 `json:"ns_op"`
+}
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		os.Exit(runDiff(os.Args[2:]))
+	}
+	os.Exit(runBench(os.Args[1:]))
+}
+
+// preset names one case-study platform.
+type preset struct {
+	name  string
+	specs func() []platform.ProcessorSpec
+}
+
+var presets = []preset{
+	{"pf1", platform.ARMPair}, // homogeneous coherence-less pair
+	{"pf2", platform.PPCARm},  // PowerPC755 + ARM920T (performance platform)
+	{"pf3", platform.PPCI486}, // PowerPC755 + Intel486 (wrapper conversion)
+}
+
+func runBench(argv []string) int {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	var (
+		out     = fs.String("o", "", "output file (default BENCH_<rev>.json)")
+		rev     = fs.String("rev", "", "revision label (default git rev-parse --short HEAD, else \"dev\")")
+		jobs    = fs.Int("jobs", 0, "parallel simulations (0 = GOMAXPROCS)")
+		gobench = fs.String("gobench", "", "also run `go test -bench <pattern>` and record ns/op")
+		lines   = fs.Int("lines", 8, "cache lines accessed per iteration")
+		iters   = fs.Int("iterations", 8, "critical-section entries per task")
+	)
+	fs.Parse(argv)
+
+	if *rev == "" {
+		*rev = gitRev()
+	}
+	params := hetcc.Params{Lines: *lines, ExecTime: 1, Iterations: *iters, WordsPerLine: 8}
+
+	var specs []hetcc.BatchSpec
+	for _, p := range presets {
+		for _, sc := range []hetcc.Scenario{hetcc.WCS, hetcc.TCS, hetcc.BCS} {
+			for _, sol := range []hetcc.Solution{hetcc.CacheDisabled, hetcc.Software, hetcc.Proposed} {
+				name := fmt.Sprintf("%s/%s/%s", p.name, strings.ToLower(sc.String()), sol)
+				specs = append(specs, hetcc.BatchSpec{
+					Label: name,
+					Config: hetcc.Config{
+						Scenario:   sc,
+						Solution:   sol,
+						Processors: p.specs(),
+						Params:     params,
+						Verify:     true,
+						Profile:    true,
+					},
+				})
+			}
+		}
+	}
+
+	results := hetcc.RunBatch(specs, hetcc.BatchOptions{Jobs: *jobs})
+	f := File{Schema: Schema, SchemaVersion: SchemaVersion, Rev: *rev, Params: params}
+	for i, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "bench: run %s failed: %v\n", r.Label, r.Err)
+			return 2
+		}
+		res := r.Result
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "bench: run %s ended abnormally: %v (%s)\n", r.Label, res.Err, res.StopReason)
+			return 2
+		}
+		if !res.Coherent() {
+			fmt.Fprintf(os.Stderr, "bench: run %s is incoherent; refusing to record its timing\n", r.Label)
+			return 2
+		}
+		util := 0.0
+		if total := res.Bus.BusyCycles + res.Bus.IdleCycles; total > 0 {
+			util = float64(res.Bus.BusyCycles) / float64(total)
+		}
+		spec := specs[i]
+		run := Run{
+			Name:           r.Label,
+			Platform:       strings.SplitN(r.Label, "/", 2)[0],
+			Scenario:       spec.Config.Scenario.String(),
+			Solution:       spec.Config.Solution.String(),
+			Cycles:         res.Cycles,
+			BusCycles:      res.Cycles / res.EngineCyclesPerBusCycle,
+			BusUtilization: util,
+		}
+		if res.Profile != nil {
+			run.Stalls = res.Profile.Cores
+		}
+		f.Runs = append(f.Runs, run)
+		fmt.Printf("%-28s %9d cycles  util %4.1f%%\n", r.Label, res.Cycles, util*100)
+	}
+
+	if *gobench != "" {
+		gb, err := runGoBench(*gobench)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: go test -bench: %v\n", err)
+			return 2
+		}
+		f.GoBench = gb
+	}
+
+	var err error
+	f.Digest, err = digest(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 2
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", f.Rev)
+	}
+	if err := writeFile(path, f); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 2
+	}
+	fmt.Printf("wrote %s (%d runs, rev %s, digest %s)\n", path, len(f.Runs), f.Rev, f.Digest[:12])
+	return 0
+}
+
+func runDiff(argv []string) int {
+	fs := flag.NewFlagSet("bench diff", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.10, "max tolerated fractional cycle increase per run")
+	fs.Parse(argv)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: bench diff [-threshold 0.10] old.json new.json")
+		return 2
+	}
+	old, err := readFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench diff: %v\n", err)
+		return 2
+	}
+	cur, err := readFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench diff: %v\n", err)
+		return 2
+	}
+
+	curByName := map[string]Run{}
+	for _, r := range cur.Runs {
+		curByName[r.Name] = r
+	}
+	failures := 0
+	for _, o := range old.Runs {
+		n, ok := curByName[o.Name]
+		if !ok {
+			fmt.Printf("FAIL %-28s missing from %s\n", o.Name, fs.Arg(1))
+			failures++
+			continue
+		}
+		delta := float64(n.Cycles)/float64(o.Cycles) - 1
+		switch {
+		case n.Cycles == o.Cycles:
+			fmt.Printf("ok   %-28s %9d cycles (unchanged)\n", o.Name, n.Cycles)
+		case delta > *threshold:
+			fmt.Printf("FAIL %-28s %9d -> %9d cycles (%+.1f%% > %.0f%% threshold)\n",
+				o.Name, o.Cycles, n.Cycles, delta*100, *threshold*100)
+			failures++
+		case delta > 0:
+			fmt.Printf("ok   %-28s %9d -> %9d cycles (%+.1f%%, within threshold)\n",
+				o.Name, o.Cycles, n.Cycles, delta*100)
+		default:
+			fmt.Printf("ok   %-28s %9d -> %9d cycles (%+.1f%%, improvement)\n",
+				o.Name, o.Cycles, n.Cycles, delta*100)
+		}
+	}
+	for _, n := range cur.Runs {
+		found := false
+		for _, o := range old.Runs {
+			if o.Name == n.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("new  %-28s %9d cycles (no baseline)\n", n.Name, n.Cycles)
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("bench diff: %d regression(s) beyond %.0f%%\n", failures, *threshold*100)
+		return 1
+	}
+	fmt.Println("bench diff: no regressions")
+	return 0
+}
+
+// digest hashes the canonical JSON of the deterministic fields (params and
+// runs — not rev, not go_bench wall clocks).
+func digest(f File) (string, error) {
+	raw, err := json.Marshal(struct {
+		Params hetcc.Params `json:"params"`
+		Runs   []Run        `json:"runs"`
+	}{f.Params, f.Runs})
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+func writeFile(path string, f File) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(f); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+func readFile(path string) (File, error) {
+	var f File
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != Schema {
+		return f, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, Schema)
+	}
+	if f.SchemaVersion != SchemaVersion {
+		return f, fmt.Errorf("%s: schema version %d, want %d", path, f.SchemaVersion, SchemaVersion)
+	}
+	want, err := digest(f)
+	if err != nil {
+		return f, err
+	}
+	if f.Digest != want {
+		return f, fmt.Errorf("%s: digest mismatch (file %s, computed %s) — edited by hand?", path, f.Digest, want)
+	}
+	return f, nil
+}
+
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "dev"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// benchLine matches `go test -bench` result rows, e.g.
+// "BenchmarkMetricsDisabled-8   1234   987.6 ns/op   0 B/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+func runGoBench(pattern string) ([]GoBench, error) {
+	cmd := exec.Command("go", "test", "-run", "xxx", "-bench", pattern, "-benchmem", "./...")
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, err
+	}
+	var results []GoBench
+	for _, line := range strings.Split(string(out), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		results = append(results, GoBench{Name: m[1], NsOp: ns})
+	}
+	return results, nil
+}

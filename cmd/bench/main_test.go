@@ -1,0 +1,141 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hetcc"
+	"hetcc/internal/profile"
+)
+
+func sampleFile(cycles uint64) File {
+	f := File{
+		Schema:        Schema,
+		SchemaVersion: SchemaVersion,
+		Rev:           "test",
+		Params:        hetcc.Params{Lines: 8, ExecTime: 1, Iterations: 8, WordsPerLine: 8},
+		Runs: []Run{{
+			Name: "pf2/wcs/proposed", Platform: "pf2", Scenario: "WCS", Solution: "proposed",
+			Cycles: cycles, BusCycles: cycles / 2, BusUtilization: 0.8,
+			Stalls: []profile.CoreSummary{{Core: 0, StallCycles: 10, Causes: map[string]uint64{"refill": 10}}},
+		}},
+	}
+	return f
+}
+
+func writeSample(t *testing.T, name string, f File) string {
+	t.Helper()
+	d, err := digest(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Digest = d
+	path := filepath.Join(t.TempDir(), name)
+	if err := writeFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestDigestIgnoresWallClockFields pins what the digest certifies: params and
+// runs, not the revision label or the machine-dependent go-bench numbers.
+func TestDigestIgnoresWallClockFields(t *testing.T) {
+	a := sampleFile(1000)
+	b := sampleFile(1000)
+	b.Rev = "other"
+	b.GoBench = []GoBench{{Name: "BenchmarkX", NsOp: 123.4}}
+	da, err := digest(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := digest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da != db {
+		t.Fatal("digest depends on rev/go_bench")
+	}
+	c := sampleFile(1001)
+	if dc, _ := digest(c); dc == da {
+		t.Fatal("digest misses a cycle change")
+	}
+}
+
+// TestReadFileRejectsTampering checks the round trip and the digest gate.
+func TestReadFileRejectsTampering(t *testing.T) {
+	path := writeSample(t, "ok.json", sampleFile(1000))
+	f, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Runs[0].Cycles != 1000 || f.Runs[0].Stalls[0].Causes["refill"] != 10 {
+		t.Fatalf("round trip lost data: %+v", f.Runs[0])
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := filepath.Join(t.TempDir(), "tampered.json")
+	if err := os.WriteFile(tampered, []byte(string(raw[:len(raw)-100])+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readFile(tampered); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+
+	bad := sampleFile(1000)
+	bad.Schema = "something.else"
+	badPath := writeSample(t, "bad.json", bad)
+	if _, err := readFile(badPath); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+// TestDiffExitCodes drives the diff subcommand end to end on disk files:
+// clean, within-threshold, regression, and missing-run cases.
+func TestDiffExitCodes(t *testing.T) {
+	base := writeSample(t, "base.json", sampleFile(1000))
+	same := writeSample(t, "same.json", sampleFile(1000))
+	within := writeSample(t, "within.json", sampleFile(1050))
+	regressed := writeSample(t, "regressed.json", sampleFile(1200))
+	improved := writeSample(t, "improved.json", sampleFile(800))
+	empty := writeSample(t, "empty.json", File{Schema: Schema, SchemaVersion: SchemaVersion})
+
+	cases := []struct {
+		name     string
+		old, cur string
+		want     int
+	}{
+		{"unchanged", base, same, 0},
+		{"within threshold", base, within, 0},
+		{"regression", base, regressed, 1},
+		{"improvement", base, improved, 0},
+		{"missing run", base, empty, 1},
+		{"new run no baseline", empty, base, 0},
+	}
+	for _, c := range cases {
+		if got := runDiff([]string{c.old, c.cur}); got != c.want {
+			t.Errorf("%s: exit %d, want %d", c.name, got, c.want)
+		}
+	}
+	// A tighter threshold flips the within-threshold case.
+	if got := runDiff([]string{"-threshold", "0.01", base, within}); got != 1 {
+		t.Error("threshold flag ignored")
+	}
+	if got := runDiff([]string{base}); got != 2 {
+		t.Error("missing operand not a usage error")
+	}
+}
+
+// TestBenchLineParsing pins the `go test -bench` output row format.
+func TestBenchLineParsing(t *testing.T) {
+	m := benchLine.FindStringSubmatch("BenchmarkMetricsDisabled-8   117   10212345.0 ns/op   0 B/op   0 allocs/op")
+	if m == nil || m[1] != "BenchmarkMetricsDisabled-8" || m[2] != "10212345.0" {
+		t.Fatalf("parse failed: %v", m)
+	}
+	if benchLine.FindStringSubmatch("ok  hetcc  1.2s") != nil {
+		t.Fatal("summary line misparsed as a result")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"hetcc/internal/isa"
 	"hetcc/internal/memory"
 	"hetcc/internal/platform"
+	"hetcc/internal/profile"
 	"hetcc/internal/stats"
 )
 
@@ -46,6 +47,7 @@ func main() {
 		vcdPath      = flag.String("vcd", "", "write an IEEE-1364 waveform dump (GTKWave) to this file")
 		reportPath   = flag.String("report", "", "write a machine-readable JSON run report to this file")
 		chromePath   = flag.String("chrometrace", "", "write a Chrome trace-event dump (load in Perfetto / chrome://tracing) to this file")
+		profilePath  = flag.String("profile", "", "write a folded-stack stall-cause profile (flamegraph.pl / speedscope input) to this file")
 		metricsWin   = flag.Uint64("metricswindow", 0, "time-series sampling window in engine cycles (0 = default)")
 		maxCycles    = flag.Uint64("maxcycles", 50_000_000, "cycle budget")
 	)
@@ -107,6 +109,9 @@ func main() {
 		cfg.Metrics = true
 		cfg.MetricsWindow = *metricsWin
 	}
+	if *reportPath != "" || *chromePath != "" || *profilePath != "" {
+		cfg.Profile = true
+	}
 	if *chromePath != "" && cfg.TraceCap == 0 {
 		// The Chrome trace wants the event log as instant markers; retain a
 		// generous window without turning on the textual trace dump.
@@ -149,6 +154,10 @@ func main() {
 		fatalIf(p.LoadPrograms(progs))
 	}
 	res := p.Run(*maxCycles)
+	if dropped := p.Log.Dropped(); dropped > 0 {
+		fmt.Fprintf(os.Stderr, "hetccsim: warning: %d trace events dropped by the ring bound; "+
+			"trace-derived output covers only the retained tail (raise -trace to keep more)\n", dropped)
+	}
 
 	platName := *platFlag
 	if *configPath != "" {
@@ -194,6 +203,23 @@ func main() {
 	}
 	cacheT.Render(os.Stdout)
 	fmt.Println()
+
+	if res.Profile != nil {
+		cols := []string{"core", "stall"}
+		for _, c := range profile.Causes() {
+			cols = append(cols, c.String())
+		}
+		profT := stats.NewTable("Stall causes", cols...)
+		for _, cs := range res.Profile.Cores {
+			row := []any{p.CPUs[cs.Core].Name(), cs.StallCycles}
+			for _, c := range profile.Causes() {
+				row = append(row, cs.Causes[c.String()])
+			}
+			profT.AddRow(row...)
+		}
+		profT.Render(os.Stdout)
+		fmt.Println()
+	}
 
 	anySnoop := false
 	snoopT := stats.NewTable("Snoop logic (TAG CAM)", "core", "inserts", "removes", "hits", "spurious", "retriesPending")
@@ -249,6 +275,16 @@ func main() {
 		fatalIf(f.Close())
 		fmt.Printf("run report written to %s\n", *reportPath)
 	}
+	if *profilePath != "" {
+		if res.Profile == nil {
+			fatalIf(fmt.Errorf("-profile: run produced no stall profile"))
+		}
+		f, err := os.Create(*profilePath)
+		fatalIf(err)
+		fatalIf(profile.WriteFolded(f, *res.Profile, coreName(p)))
+		fatalIf(f.Close())
+		fmt.Printf("folded stall profile written to %s (flamegraph.pl %s > stalls.svg)\n", *profilePath, *profilePath)
+	}
 	if *chromePath != "" {
 		events := chrometrace.FromTenures(res.Tenures, func(m int) string {
 			if m >= 0 && m < len(p.CPUs) {
@@ -257,6 +293,7 @@ func main() {
 			return fmt.Sprintf("master%d", m)
 		})
 		events = append(events, chrometrace.FromLog(p.Log)...)
+		events = append(events, chrometrace.FromStallSpans(res.StallSpans, coreName(p))...)
 		if res.Audit != nil {
 			events = append(events, chrometrace.FromViolations(res.Audit.Violations)...)
 		}
@@ -354,6 +391,16 @@ func parseLock(s string) (platform.LockKind, error) {
 		return platform.LockPeterson, nil
 	default:
 		return 0, fmt.Errorf("unknown lock %q", s)
+	}
+}
+
+// coreName labels profile lanes and folded-stack rows with the CPU names.
+func coreName(p *platform.Platform) func(int) string {
+	return func(i int) string {
+		if i >= 0 && i < len(p.CPUs) {
+			return p.CPUs[i].Name()
+		}
+		return fmt.Sprintf("core%d", i)
 	}
 }
 

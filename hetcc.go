@@ -97,6 +97,10 @@ type Config struct {
 	// (one object per line); callers hand in a buffered writer and flush it
 	// after the run.
 	EventLog io.Writer
+	// Profile enables the per-core stall-cause cycle ledger; the run's
+	// summary lands in Result.Profile and the per-core stall timeline in
+	// Result.StallSpans.
+	Profile bool
 	// MaxCycles bounds the run (default 50M engine cycles).
 	MaxCycles uint64
 }
@@ -142,6 +146,7 @@ func Build(cfg Config) (*platform.Platform, error) {
 		MetricsWindow:   cfg.MetricsWindow,
 		Audit:           cfg.Audit,
 		EventLog:        cfg.EventLog,
+		Profile:         cfg.Profile,
 	})
 	if err != nil {
 		return nil, err

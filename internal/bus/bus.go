@@ -158,6 +158,11 @@ type SnoopReply struct {
 	Supply bool
 	// Data is the supplied line when Supply is set.
 	Data []uint32
+	// Drain qualifies Retry: the snooper asserted it because a dirty-line
+	// drain (flush in flight or pending ISR) must finish before the
+	// transaction can succeed.  The stall profiler uses it to separate
+	// drain-induced retries from plain arbitration ping-pong.
+	Drain bool
 }
 
 // Snooper observes other masters' transactions during the address phase.
@@ -569,7 +574,7 @@ func (b *Bus) prepare(now uint64, id int) prepared {
 
 	// Address phase: present the transaction to every other master's
 	// snoopers and combine their replies.
-	var shared, retry, supply bool
+	var shared, retry, supply, drain bool
 	var supplied []uint32
 	if t.Kind.Snooped() {
 		for owner, list := range b.snoopers {
@@ -580,6 +585,7 @@ func (b *Bus) prepare(now uint64, id int) prepared {
 				r := s.SnoopBus(t)
 				shared = shared || r.Shared
 				retry = retry || r.Retry
+				drain = drain || r.Drain
 				if r.Supply {
 					supply = true
 					supplied = r.Data
@@ -597,7 +603,7 @@ func (b *Bus) prepare(now uint64, id int) prepared {
 		b.consecutiveAborts++
 		b.log.Addf(now, "bus", "ARTRY %s %s 0x%08x (retry %d)", m.name, t.Kind, t.Addr, t.retries)
 		b.curAbort = true
-		b.events.Retry(t.Master, uint8(t.Kind), t.Addr, t.retries)
+		b.events.Retry(t.Master, uint8(t.Kind), t.Addr, t.retries, drain)
 		m.queue = append([]pending{p}, m.queue...)
 		m.holdUntil = b.cycle + uint64(b.cfg.RetryBackoff)
 		// Two livelock signatures: nothing at all completing (the paper's
@@ -724,6 +730,10 @@ func (b *Bus) complete(now uint64) {
 	b.mRetries.Observe(uint64(p.txn.retries))
 	b.stats.Completed++
 	b.log.Addf(now, "bus", "done  %s %s 0x%08x", b.masters[p.txn.Master].name, p.txn.Kind, p.txn.Addr)
+	// Emitted before the completion callbacks so a subscriber sees the
+	// master's queue state settle before any synchronous resubmission (e.g.
+	// an upgrade falling back to a fill).
+	b.events.BusComplete(p.txn.Master, uint8(p.txn.Kind), p.txn.Addr)
 	for _, o := range b.obs {
 		o(p.txn, res)
 	}

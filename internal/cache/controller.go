@@ -7,6 +7,7 @@ import (
 	"hetcc/internal/coherence"
 	"hetcc/internal/event"
 	"hetcc/internal/metrics"
+	"hetcc/internal/profile"
 	"hetcc/internal/trace"
 )
 
@@ -94,6 +95,14 @@ type Controller struct {
 
 	// nil-safe coherence event sink (see SetEvents)
 	events *event.Sink
+
+	// nil-safe stall profiler (see SetProfile).  remoteInval tracks line
+	// bases whose cached copy was invalidated by a snoop carrying a wrapper
+	// read→write conversion; a later fill of such a line is an
+	// invalidation-induced re-miss (the paper's coherence cost).  The map is
+	// only populated while profiling is enabled.
+	prof        *profile.Ledger
+	remoteInval map[uint32]struct{}
 }
 
 // NewController wires a controller for cache c on bus b, registering a new
@@ -134,6 +143,37 @@ func (ctl *Controller) SetMetrics(r *metrics.Registry) {
 // SetEvents attaches the controller to a coherence event sink.  A nil sink
 // makes every emission a single nil check.
 func (ctl *Controller) SetEvents(s *event.Sink) { ctl.events = s }
+
+// SetProfile attaches the controller to the stall-cause ledger.  A nil
+// ledger disables the invalidation-re-miss bookkeeping entirely.
+func (ctl *Controller) SetProfile(l *profile.Ledger) {
+	ctl.prof = l
+	if l != nil && ctl.remoteInval == nil {
+		ctl.remoteInval = make(map[uint32]struct{})
+	}
+}
+
+// markRemoteInval records that base was invalidated by a wrapper-converted
+// snoop, so the next fill of base counts as an invalidation re-miss.
+func (ctl *Controller) markRemoteInval(base uint32) {
+	if ctl.prof != nil {
+		ctl.remoteInval[base] = struct{}{}
+	}
+}
+
+// noteMissProfile classifies the imminent fill of addr: if the previous copy
+// was lost to a wrapper read→write conversion, the stall is an invalidation
+// re-miss.  The mark is consumed either way.
+func (ctl *Controller) noteMissProfile(addr uint32) {
+	if ctl.prof == nil {
+		return
+	}
+	base := ctl.cache.Config().LineAddr(addr)
+	if _, ok := ctl.remoteInval[base]; ok {
+		delete(ctl.remoteInval, base)
+		ctl.prof.NoteInvalMiss(ctl.masterID)
+	}
+}
 
 // noteState publishes a line state transition on the event stream.  State
 // assignments below route through it so the auditor sees every transition.
@@ -263,6 +303,7 @@ func (ctl *Controller) accessWriteThrough(write bool, addr, val uint32, done fun
 	if victim == nil {
 		return Busy, 0
 	}
+	ctl.noteMissProfile(addr)
 	if victim.State != coherence.Invalid {
 		ctl.evict(victim)
 	}
@@ -331,6 +372,7 @@ func (ctl *Controller) missFill(write bool, addr, val uint32, done func(uint32))
 	if victim == nil {
 		panic(fmt.Sprintf("cache %s: no victim for fill of 0x%08x", ctl.name, addr))
 	}
+	ctl.noteMissProfile(addr)
 	if victim.State != coherence.Invalid {
 		ctl.evict(victim)
 	}
@@ -486,16 +528,18 @@ func (ctl *Controller) SnoopBus(t *bus.Transaction) bus.SnoopReply {
 	base := ctl.cache.Config().LineAddr(t.Addr)
 	if _, inflight := ctl.pendingWB[base]; inflight {
 		// The line's write-back is queued but memory is not yet current.
-		return bus.SnoopReply{Retry: true}
+		return bus.SnoopReply{Retry: true, Drain: true}
 	}
 	l := ctl.cache.Lookup(t.Addr)
 	if l == nil {
 		return bus.SnoopReply{}
 	}
 	if l.flushPending {
-		return bus.SnoopReply{Retry: true}
+		return bus.SnoopReply{Retry: true, Drain: true}
 	}
-	op := ctl.policy.ConvertSnoop(t.Kind.CoherenceOp())
+	rawOp := t.Kind.CoherenceOp()
+	op := ctl.policy.ConvertSnoop(rawOp)
+	converted := op != rawOp
 	out, err := ctl.cache.Protocol().OnSnoop(l.State, op)
 	if err != nil {
 		panic(fmt.Sprintf("cache %s: %v", ctl.name, err))
@@ -527,12 +571,17 @@ func (ctl *Controller) SnoopBus(t *bus.Transaction) bus.SnoopReply {
 			ctl.events.Drain(ctl.masterID, l.Base)
 			ctl.noteState(l.Base, l.State, l.flushNext)
 			l.State = l.flushNext
-			if l.State == coherence.Invalid && ctl.upgradeLive && l.Base == ctl.upgradeBase {
-				ctl.upgradeLost = true
+			if l.State == coherence.Invalid {
+				if converted {
+					ctl.markRemoteInval(l.Base)
+				}
+				if ctl.upgradeLive && l.Base == ctl.upgradeBase {
+					ctl.upgradeLost = true
+				}
 			}
 		})
 		ctl.bus.PreferNext(ctl.masterID)
-		return bus.SnoopReply{Retry: true}
+		return bus.SnoopReply{Retry: true, Drain: true}
 	}
 	reply := bus.SnoopReply{Shared: out.AssertShared}
 	if out.Update {
@@ -548,6 +597,9 @@ func (ctl *Controller) SnoopBus(t *bus.Transaction) bus.SnoopReply {
 	}
 	if out.Next == coherence.Invalid {
 		ctl.cache.stats.SnoopInvalidations++
+		if converted {
+			ctl.markRemoteInval(l.Base)
+		}
 		ctl.invalidateLine(l)
 	} else if out.Next != l.State {
 		ctl.cache.stats.SnoopDowngrades++

@@ -22,6 +22,7 @@ import (
 
 	"hetcc/internal/audit"
 	"hetcc/internal/bus"
+	"hetcc/internal/profile"
 	"hetcc/internal/trace"
 )
 
@@ -50,6 +51,8 @@ const (
 	PidLog = 2
 	// PidAudit groups invariant-violation markers from the online auditor.
 	PidAudit = 3
+	// PidProfile groups per-core stall-cause spans from the cycle ledger.
+	PidProfile = 4
 )
 
 func usAt(cycle uint64) float64 { return float64(cycle) / EngineCyclesPerMicrosecond }
@@ -140,6 +143,40 @@ func FromLog(l *trace.Log) []Event {
 			Pid:  PidLog,
 			Tid:  0,
 			Args: map[string]any{"s": "p", "dropped": dropped},
+		})
+	}
+	return events
+}
+
+// FromStallSpans converts the stall-cause ledger's per-core timeline into
+// complete events, one lane per core, named by cause.  Side by side with the
+// bus lanes this shows *why* a core is stalled at any point — an arbitration
+// wait on one core lines up with the tenure occupying the bus on another.
+// coreName labels the lanes (nil falls back to "core N").
+func FromStallSpans(spans []profile.Span, coreName func(id int) string) []Event {
+	if len(spans) == 0 {
+		return nil
+	}
+	events := []Event{meta("process_name", PidProfile, 0, "stall causes")}
+	seen := map[int]bool{}
+	for _, s := range spans {
+		if !seen[s.Core] {
+			seen[s.Core] = true
+			label := fmt.Sprintf("core %d", s.Core)
+			if coreName != nil {
+				label = coreName(s.Core)
+			}
+			events = append(events, meta("thread_name", PidProfile, s.Core, label))
+		}
+		dur := usAt(s.End) - usAt(s.Start)
+		events = append(events, Event{
+			Name: s.Cause.String(),
+			Ph:   "X",
+			Ts:   usAt(s.Start),
+			Dur:  &dur,
+			Pid:  PidProfile,
+			Tid:  s.Core,
+			Args: map[string]any{"cycles": s.End - s.Start},
 		})
 	}
 	return events

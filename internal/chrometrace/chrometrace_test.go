@@ -8,6 +8,7 @@ import (
 
 	"hetcc/internal/audit"
 	"hetcc/internal/bus"
+	"hetcc/internal/profile"
 	"hetcc/internal/trace"
 )
 
@@ -117,6 +118,48 @@ func TestFromLogReportsDropped(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("no dropped-count marker in %v", events)
+	}
+}
+
+func TestFromStallSpans(t *testing.T) {
+	spans := []profile.Span{
+		{Core: 0, Cause: profile.CauseLock, Start: 100, End: 200},
+		{Core: 1, Cause: profile.CauseRefill, Start: 150, End: 180},
+		{Core: 0, Cause: profile.CauseDrain, Start: 250, End: 260},
+	}
+	events := FromStallSpans(spans, func(c int) string { return map[int]string{0: "ppc", 1: "arm"}[c] })
+	requireKeys(t, events)
+
+	var xs []Event
+	for _, e := range events {
+		if e.Ph == "X" {
+			xs = append(xs, e)
+		}
+	}
+	if len(xs) != 3 {
+		t.Fatalf("%d spans, want 3", len(xs))
+	}
+	if xs[0].Name != "lock-spin" || xs[0].Pid != PidProfile || xs[0].Tid != 0 {
+		t.Fatalf("span 0 %+v, want lock-spin on profile pid, core lane 0", xs[0])
+	}
+	if xs[0].Ts != 1.0 || math.Abs(*xs[0].Dur-1.0) > 1e-9 {
+		t.Fatalf("span 0 ts=%v dur=%v, want 1.0/1.0", xs[0].Ts, *xs[0].Dur)
+	}
+	if xs[1].Args["cycles"] != uint64(30) {
+		t.Fatalf("span 1 args %v, want 30 cycles", xs[1].Args)
+	}
+	// One labelled lane per core, no duplicates.
+	lanes := map[string]int{}
+	for _, e := range events {
+		if e.Ph == "M" && e.Name == "thread_name" {
+			lanes[e.Args["name"].(string)]++
+		}
+	}
+	if lanes["ppc"] != 1 || lanes["arm"] != 1 {
+		t.Fatalf("lane labels %v", lanes)
+	}
+	if FromStallSpans(nil, nil) != nil {
+		t.Fatal("no spans should export nothing")
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"hetcc/internal/isa"
 	"hetcc/internal/lock"
 	"hetcc/internal/metrics"
+	"hetcc/internal/profile"
 	"hetcc/internal/snooplogic"
 )
 
@@ -148,6 +149,11 @@ type CPU struct {
 	// mISR observes engine cycles per interrupt-drain (ISR entry to exit).
 	mISR     *metrics.Histogram
 	isrStart uint64
+
+	// prof is the nil-safe stall-cause ledger (see SetProfile); wasStalled
+	// detects the stall→run edge so stall episodes are closed exactly once.
+	prof       *profile.Ledger
+	wasStalled bool
 }
 
 // New builds a core.  ctl is its cache controller (also the path for
@@ -170,6 +176,12 @@ func (c *CPU) SetMetrics(r *metrics.Registry) {
 	c.mLockAcq = r.Histogram("lock.acquire.enginecycles")
 	c.mISR = r.Histogram("cpu.isr.enginecycles")
 }
+
+// SetProfile attaches the core to the stall-cause ledger.  The ledger is
+// ticked at exactly the site that increments Stats.StallCycles, so the
+// attributed causes and the aggregate stay conserved against each other.  A
+// nil ledger costs one nil check per stalled cycle.
+func (c *CPU) SetProfile(l *profile.Ledger) { c.prof = l }
 
 // OnHalt installs the halt notification used by the platform to stop the
 // engine when every core has retired its program.
@@ -243,7 +255,13 @@ func (c *CPU) Tick(now uint64) {
 	// problem (Figure 4).
 	if c.state == stateStalled {
 		c.stats.StallCycles++
+		c.wasStalled = true
+		c.prof.StallTick(c.id, now)
 		return
+	}
+	if c.wasStalled {
+		c.wasStalled = false
+		c.prof.StallEnd(c.id)
 	}
 	// ISR in progress: run it (including its entry/exit delay cycles).
 	if c.isr != isrIdle {
@@ -318,6 +336,7 @@ func (c *CPU) stepISR(now uint64) {
 			c.delay = c.cfg.ISRExit
 		case cache.Pending:
 			c.state = stateStalled
+			c.prof.StallDrain(c.id)
 		case cache.Busy:
 			c.stats.BusyRetries++
 		}
@@ -358,6 +377,7 @@ func (c *CPU) execute(now uint64, op isa.Op) {
 			c.retire()
 		case cache.Pending:
 			c.state = stateStalled
+			c.prof.StallDrain(c.id)
 		case cache.Busy:
 			c.stats.BusyRetries++
 		}
@@ -399,6 +419,7 @@ func (c *CPU) waitEq(now uint64, addr, val uint32) {
 			finish(v)
 		case cache.Pending:
 			c.state = stateStalled
+			c.prof.StallLock(c.id)
 		case cache.Busy:
 			c.stats.BusyRetries++
 		}
@@ -410,6 +431,7 @@ func (c *CPU) waitEq(now uint64, addr, val uint32) {
 		return
 	}
 	c.state = stateStalled
+	c.prof.StallLock(c.id)
 }
 
 // noteClean informs the core's snoop logic that a line left the cache
@@ -442,6 +464,7 @@ func (c *CPU) memAccess(now uint64, write bool, addr, val uint32) {
 			c.retire()
 		case cache.Pending:
 			c.state = stateStalled
+			c.prof.StallAccess(c.id)
 		case cache.Busy:
 			c.stats.BusyRetries++
 		}
@@ -462,6 +485,7 @@ func (c *CPU) memAccess(now uint64, write bool, addr, val uint32) {
 		return
 	}
 	c.state = stateStalled
+	c.prof.StallAccess(c.id)
 }
 
 func (c *CPU) noteAccess(write bool, addr, val, readVal uint32, now uint64) {
@@ -540,6 +564,7 @@ func (c *CPU) stepLock(now uint64, release bool, lockID int) {
 			return
 		}
 		c.state = stateStalled
+		c.prof.StallLock(c.id)
 	case lock.ReadCached, lock.WriteCached:
 		write := op.Kind == lock.WriteCached
 		status, v := c.ctl.Access(write, op.Addr, op.Val, func(rv uint32) {
@@ -551,6 +576,7 @@ func (c *CPU) stepLock(now uint64, release bool, lockID int) {
 			finish(v)
 		case cache.Pending:
 			c.state = stateStalled
+			c.prof.StallLock(c.id)
 		case cache.Busy:
 			c.stats.BusyRetries++
 			c.stats.LockOps--

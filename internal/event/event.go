@@ -43,6 +43,9 @@ const (
 	// Drain: a write-back completed (eviction, software clean, snoop flush
 	// or ISR drain), making memory current for the line.
 	Drain
+	// BusComplete: a tenure finished its data phase and left the bus; the
+	// master's next queued transaction (if any) re-enters arbitration.
+	BusComplete
 
 	kindCount
 )
@@ -66,6 +69,8 @@ func (k Kind) String() string {
 		return "shared-override"
 	case Drain:
 		return "drain"
+	case BusComplete:
+		return "bus-complete"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -94,6 +99,10 @@ type Record struct {
 	BusKind uint8
 	// Retries is the transaction's retry count so far (Retry events).
 	Retries int
+	// Drain reports whether a Retry was asserted by a snooper that needs a
+	// dirty-line drain (cache flush in flight or ISR drain pending) before
+	// the transaction can succeed, as opposed to a plain ARTRY.
+	Drain bool
 	// SharedIn/SharedOut carry the shared-signal value before and after a
 	// SharedOverride, and SharedOut the sampled value on BusGrant.
 	SharedIn, SharedOut bool
@@ -184,12 +193,14 @@ func (s *Sink) BusGrant(core int, busKind uint8, addr uint32, shared bool) {
 	s.emit(Record{Kind: BusGrant, Core: core, Addr: addr, BusKind: busKind, SharedOut: shared})
 }
 
-// Retry records an ARTRY abort; retries is the transaction's running count.
-func (s *Sink) Retry(core int, busKind uint8, addr uint32, retries int) {
+// Retry records an ARTRY abort; retries is the transaction's running count
+// and drain reports whether a snooper asserted the retry to drain a dirty
+// line (or complete a pending ISR drain) first.
+func (s *Sink) Retry(core int, busKind uint8, addr uint32, retries int, drain bool) {
 	if s == nil {
 		return
 	}
-	s.emit(Record{Kind: Retry, Core: core, Addr: addr, BusKind: busKind, Retries: retries})
+	s.emit(Record{Kind: Retry, Core: core, Addr: addr, BusKind: busKind, Retries: retries, Drain: drain})
 }
 
 // SnoopHit records a snooper matching a remote transaction on line addr; op
@@ -223,6 +234,14 @@ func (s *Sink) SharedOverride(core int, in, out bool) {
 		return
 	}
 	s.emit(Record{Kind: SharedOverride, Core: core, SharedIn: in, SharedOut: out})
+}
+
+// BusComplete records a tenure finishing its data phase and leaving the bus.
+func (s *Sink) BusComplete(core int, busKind uint8, addr uint32) {
+	if s == nil {
+		return
+	}
+	s.emit(Record{Kind: BusComplete, Core: core, Addr: addr, BusKind: busKind})
 }
 
 // Drain records a completed write-back of line addr.
@@ -272,10 +291,10 @@ func (jw *JSONLWriter) Written() uint64 { return jw.n }
 func (jw *JSONLWriter) render(r *Record) string {
 	head := fmt.Sprintf(`{"cycle":%d,"kind":%q,"core":%d`, r.Cycle, r.Kind.String(), r.Core)
 	switch r.Kind {
-	case BusRequest, Retry:
+	case BusRequest, Retry, BusComplete:
 		s := head + fmt.Sprintf(`,"op":%q,"addr":"0x%08x"`, jw.bus(r.BusKind), r.Addr)
 		if r.Kind == Retry {
-			s += fmt.Sprintf(`,"retries":%d`, r.Retries)
+			s += fmt.Sprintf(`,"retries":%d,"drain":%v`, r.Retries, r.Drain)
 		}
 		return s + "}\n"
 	case BusGrant:

@@ -15,12 +15,13 @@ func TestNilSinkIsSafe(t *testing.T) {
 	var s *Sink
 	s.BusRequest(0, 1, 0x100)
 	s.BusGrant(0, 1, 0x100, true)
-	s.Retry(0, 1, 0x100, 3)
+	s.Retry(0, 1, 0x100, 3, false)
 	s.SnoopHit(1, 0x100, coherence.BusRd)
 	s.StateChange(1, 0x100, coherence.Invalid, coherence.Exclusive)
 	s.WrapperConvert(1, coherence.BusRd, coherence.BusRdX)
 	s.SharedOverride(1, true, false)
 	s.Drain(1, 0x100)
+	s.BusComplete(0, 1, 0x100)
 	s.Subscribe(func(*Record) { t.Fatal("nil sink delivered an event") })
 	if s.Enabled() || s.Counts() != nil || s.Total() != 0 {
 		t.Fatal("nil sink misbehaves")
@@ -64,7 +65,7 @@ func TestKindStrings(t *testing.T) {
 		BusRequest: "bus-request", BusGrant: "bus-grant", Retry: "retry",
 		SnoopHit: "snoop-hit", StateChange: "state-change",
 		WrapperConvert: "wrapper-convert", SharedOverride: "shared-override",
-		Drain: "drain",
+		Drain: "drain", BusComplete: "bus-complete",
 	}
 	if len(want) != int(kindCount) {
 		t.Fatalf("test covers %d kinds, package has %d", len(want), kindCount)
@@ -89,23 +90,25 @@ func TestJSONLWriter(t *testing.T) {
 
 	s.BusRequest(0, 2, 0x2000_0000)
 	s.BusGrant(0, 2, 0x2000_0000, true)
-	s.Retry(1, 2, 0x2000_0000, 4)
+	s.Retry(1, 2, 0x2000_0000, 4, true)
 	s.SnoopHit(1, 0x2000_0000, coherence.BusRdX)
 	s.StateChange(0, 0x2000_0000, coherence.Invalid, coherence.Exclusive)
 	s.WrapperConvert(1, coherence.BusRd, coherence.BusRdX)
 	s.SharedOverride(1, true, false)
 	s.Drain(0, 0x2000_0000)
+	s.BusComplete(0, 2, 0x2000_0000)
 
 	if jw.Err() != nil {
 		t.Fatal(jw.Err())
 	}
 	lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
-	if len(lines) != 8 || jw.Written() != 8 {
-		t.Fatalf("%d lines, %d written, want 8", len(lines), jw.Written())
+	if len(lines) != 9 || jw.Written() != 9 {
+		t.Fatalf("%d lines, %d written, want 9", len(lines), jw.Written())
 	}
 	wantKinds := []string{
 		"bus-request", "bus-grant", "retry", "snoop-hit",
 		"state-change", "wrapper-convert", "shared-override", "drain",
+		"bus-complete",
 	}
 	for i, line := range lines {
 		var obj map[string]any
@@ -125,8 +128,11 @@ func TestJSONLWriter(t *testing.T) {
 	if !strings.Contains(lines[5], `"from":"BusRd"`) || !strings.Contains(lines[5], `"to":"BusRdX"`) {
 		t.Errorf("wrapper-convert payload wrong: %s", lines[5])
 	}
-	if !strings.Contains(lines[2], `"retries":4`) {
+	if !strings.Contains(lines[2], `"retries":4`) || !strings.Contains(lines[2], `"drain":true`) {
 		t.Errorf("retry payload wrong: %s", lines[2])
+	}
+	if !strings.Contains(lines[8], `"op":"bus-kind-2"`) {
+		t.Errorf("bus-complete payload wrong: %s", lines[8])
 	}
 }
 

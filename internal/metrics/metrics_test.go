@@ -162,6 +162,64 @@ func TestSamplerWindows(t *testing.T) {
 	}
 }
 
+// TestSamplerEdgeCases covers the degenerate configurations: a zero window
+// (sampler disabled, nil), a run shorter than one window (single flushed
+// sample), and a series long enough to wrap the retention ring.
+func TestSamplerEdgeCases(t *testing.T) {
+	t.Run("empty window", func(t *testing.T) {
+		r := NewRegistry()
+		s := r.NewSampler(0)
+		if s != nil {
+			t.Fatal("zero window must disable the sampler")
+		}
+		s.Delta("d", func() float64 { return 1 }) // nil-safe
+		s.Level("l", func() float64 { return 1 })
+		s.Bound(4)
+		s.Tick(100)
+		s.Flush(100)
+		if s.Window() != 0 {
+			t.Fatal("nil sampler has a window")
+		}
+		if n := len(r.Snapshot().Series); n != 0 {
+			t.Fatalf("%d series recorded through a nil sampler", n)
+		}
+	})
+	t.Run("single sample", func(t *testing.T) {
+		r := NewRegistry()
+		s := r.NewSampler(10_000)
+		s.Level("l", func() float64 { return 7 })
+		s.Flush(42) // run ended inside the first window
+		se := r.Snapshot().Series["l"]
+		if len(se.Points) != 1 || se.Points[0] != (Point{42, 7}) || se.Dropped != 0 {
+			t.Fatalf("snapshot %+v, want one point {42 7}", se)
+		}
+	})
+	t.Run("ring wraparound", func(t *testing.T) {
+		r := NewRegistry()
+		s := r.NewSampler(10)
+		s.Bound(3)
+		cycle := 0.0
+		s.Level("l", func() float64 { return cycle })
+		for i := 1; i <= 5; i++ {
+			cycle = float64(10 * i)
+			s.Tick(uint64(10 * i))
+		}
+		se := r.Snapshot().Series["l"]
+		if se.Dropped != 2 {
+			t.Fatalf("dropped %d, want 2", se.Dropped)
+		}
+		want := []Point{{30, 30}, {40, 40}, {50, 50}}
+		if len(se.Points) != len(want) {
+			t.Fatalf("points %v, want %v", se.Points, want)
+		}
+		for i, p := range se.Points {
+			if p != want[i] {
+				t.Fatalf("point %d = %v, want %v (oldest must be evicted first)", i, p, want[i])
+			}
+		}
+	})
+}
+
 func TestSnapshotRoundTrips(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("c").Add(3)

@@ -16,18 +16,26 @@ package metrics
 type Sampler struct {
 	window    uint64
 	lastFlush uint64
+	bound     int
 	series    []*timeSeries
 }
+
+// DefaultSamplerBound caps the points retained per series.  A simulation
+// capped at 50M engine cycles with the default 10k-cycle window produces at
+// most 5000 points, so ordinary runs never hit it; it exists to keep custom
+// tight-window instrumentations bounded.
+const DefaultSamplerBound = 1 << 16
 
 // ProbeFunc reads one quantity from the simulated system.
 type ProbeFunc func() float64
 
 type timeSeries struct {
-	name  string
-	probe ProbeFunc
-	delta bool
-	prev  float64
-	pts   []Point
+	name    string
+	probe   ProbeFunc
+	delta   bool
+	prev    float64
+	pts     []Point
+	dropped uint64
 }
 
 // Point is one time-series sample: the value over (or at) the window ending
@@ -42,12 +50,15 @@ type SeriesSnapshot struct {
 	// WindowCycles is the sampling period in engine cycles.
 	WindowCycles uint64  `json:"window_cycles"`
 	Points       []Point `json:"points"`
+	// Dropped counts the oldest points evicted by the retention bound;
+	// non-zero means Points is only the tail of the run.
+	Dropped uint64 `json:"dropped,omitempty"`
 }
 
 func (s *timeSeries) snapshot(window uint64) SeriesSnapshot {
 	pts := make([]Point, len(s.pts))
 	copy(pts, s.pts)
-	return SeriesSnapshot{WindowCycles: window, Points: pts}
+	return SeriesSnapshot{WindowCycles: window, Points: pts, Dropped: s.dropped}
 }
 
 // NewSampler creates a sampler flushing every window engine cycles and
@@ -57,9 +68,18 @@ func (r *Registry) NewSampler(window uint64) *Sampler {
 	if r == nil || window == 0 {
 		return nil
 	}
-	s := &Sampler{window: window}
+	s := &Sampler{window: window, bound: DefaultSamplerBound}
 	r.samplers = append(r.samplers, s)
 	return s
+}
+
+// Bound overrides the per-series point retention limit; n <= 0 removes the
+// bound.  Safe on a nil sampler.
+func (s *Sampler) Bound(n int) {
+	if s == nil {
+		return
+	}
+	s.bound = n
 }
 
 // Delta registers a windowed-increase series over a cumulative probe.  Safe
@@ -107,6 +127,11 @@ func (s *Sampler) Flush(now uint64) {
 			v = d
 		}
 		se.pts = append(se.pts, Point{Cycle: now, Value: v})
+		if s.bound > 0 && len(se.pts) > s.bound {
+			over := len(se.pts) - s.bound
+			se.dropped += uint64(over)
+			se.pts = se.pts[:copy(se.pts, se.pts[over:])]
+		}
 	}
 }
 

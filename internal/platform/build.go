@@ -16,6 +16,7 @@ import (
 	"hetcc/internal/memory"
 	"hetcc/internal/metrics"
 	"hetcc/internal/periph"
+	"hetcc/internal/profile"
 	"hetcc/internal/sim"
 	"hetcc/internal/snooplogic"
 	"hetcc/internal/trace"
@@ -61,6 +62,7 @@ type Platform struct {
 	events     *event.Sink
 	auditor    *audit.Auditor
 	eventJSONL *event.JSONLWriter
+	profiler   *profile.Ledger
 }
 
 // Build validates cfg and wires the system.
@@ -118,10 +120,14 @@ func Build(cfg Config) (*Platform, error) {
 	// The event stream exists when the auditor or the JSONL export wants
 	// it; otherwise the sink stays nil and every producer emission is one
 	// nil check (same contract as the metrics instruments).
-	if cfg.Audit || cfg.EventLog != nil {
+	if cfg.Audit || cfg.EventLog != nil || cfg.Profile {
 		p.events = event.NewSink(engine.Now)
 	}
 	b.SetEvents(p.events)
+	if cfg.Profile {
+		p.profiler = profile.NewLedger(len(cfg.Processors))
+		p.events.Subscribe(p.profiler.HandleEvent)
+	}
 	if cfg.EventLog != nil {
 		p.eventJSONL = event.NewJSONLWriter(cfg.EventLog, func(k uint8) string { return bus.Kind(k).String() })
 		p.events.Subscribe(p.eventJSONL.Handle)
@@ -247,6 +253,9 @@ func Build(cfg Config) (*Platform, error) {
 		ctl := cache.NewController(spec.Model, arr, b, policy, snoops, log)
 		ctl.SetMetrics(p.Metrics)
 		ctl.SetEvents(p.events)
+		if p.profiler != nil {
+			ctl.SetProfile(p.profiler)
+		}
 		if w != nil {
 			w.SetMetrics(p.Metrics)
 			w.SetEvents(p.events, i)
@@ -285,6 +294,7 @@ func Build(cfg Config) (*Platform, error) {
 			sl.SetFIQRaiser(c)
 		}
 		c.SetMetrics(p.Metrics)
+		c.SetProfile(p.profiler)
 		// SetHooks is single-slot, so the golden-model checker and the
 		// auditor's data-value check are chained into one hook set.
 		var hooks cpu.Hooks

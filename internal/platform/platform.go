@@ -298,6 +298,14 @@ type Config struct {
 	// off.  Writes are unbuffered: callers hand in a buffered writer and
 	// flush it after the run.
 	EventLog io.Writer
+	// Profile enables the per-core stall-cause cycle ledger (package
+	// profile): every stalled CPU cycle is attributed to one exclusive
+	// cause (arbitration wait, retry backoff, drain, refill, invalidation
+	// re-miss, lock spin), with Result.Profile carrying the summary and
+	// Result.StallSpans the per-core timeline.  Enables the coherence event
+	// stream.  Off by default; the disabled path costs one nil check per
+	// stalled cycle.
+	Profile bool
 	// DeadlockThreshold overrides the bus livelock detector bound.
 	DeadlockThreshold int
 	// DMA adds the coherent DMA engine (register bank at DMABase).

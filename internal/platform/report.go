@@ -10,6 +10,7 @@ import (
 	"hetcc/internal/cache"
 	"hetcc/internal/cpu"
 	"hetcc/internal/metrics"
+	"hetcc/internal/profile"
 	"hetcc/internal/snooplogic"
 )
 
@@ -18,9 +19,10 @@ import (
 const ReportSchema = "hetcc.run-report"
 
 // ReportSchemaVersion is bumped on any incompatible change to Report.
-// v2 added the "audit" section (invariant auditor summary); every v1 field
-// is unchanged, so v1 consumers keep working.
-const ReportSchemaVersion = 2
+// v2 added the "audit" section (invariant auditor summary); v3 added the
+// "profile" section (per-core stall-cause ledger) and "trace_dropped".
+// Every v1 and v2 field is unchanged, so older consumers keep working.
+const ReportSchemaVersion = 3
 
 // Report is the machine-readable summary of one simulation run, written by
 // the -report flag of cmd/hetccsim.  It is deliberately free of wall-clock
@@ -61,6 +63,15 @@ type Report struct {
 	// Audit is the invariant auditor's summary (schema v2).  Nil when the
 	// run had auditing disabled.
 	Audit *audit.Summary `json:"audit,omitempty"`
+
+	// Profile is the per-core stall-cause ledger summary (schema v3).  Nil
+	// when the run had profiling disabled.  Per core, the causes sum to the
+	// core's stall_cycles exactly (the conservation invariant).
+	Profile *profile.Summary `json:"profile,omitempty"`
+	// TraceDropped counts events evicted from the bounded trace ring
+	// (schema v3).  Non-zero means trace-derived views (Chrome-trace log
+	// lane, -trace output) reflect only the retained tail of the run.
+	TraceDropped uint64 `json:"trace_dropped,omitempty"`
 }
 
 // CoreReport is the per-processor slice of a Report.
@@ -89,6 +100,8 @@ func (p *Platform) Report(res Result, scenario string) Report {
 		Bus:               res.Bus,
 		Metrics:           res.Metrics,
 		Audit:             res.Audit,
+		Profile:           res.Profile,
+		TraceDropped:      p.Log.Dropped(),
 	}
 	if res.Err != nil {
 		rep.Error = res.Err.Error()

@@ -14,8 +14,9 @@ import (
 
 var update = flag.Bool("update", false, "rewrite the golden report file")
 
-// runWCSReport runs a small deterministic WCS simulation with metrics and
-// auditing on and returns the platform, the result, and the rendered report.
+// runWCSReport runs a small deterministic WCS simulation with metrics,
+// auditing and profiling on and returns the platform, the result, and the
+// rendered report.
 func runWCSReport(t *testing.T) (*Platform, Result, Report) {
 	t.Helper()
 	p, err := Build(Config{
@@ -26,6 +27,7 @@ func runWCSReport(t *testing.T) (*Platform, Result, Report) {
 		Metrics:       true,
 		MetricsWindow: 5_000,
 		Audit:         true,
+		Profile:       true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -121,8 +123,7 @@ func TestReportRoundTrip(t *testing.T) {
 }
 
 // TestReportV1FieldsStable guards v1 consumers: every v1 top-level field must
-// still be present with its v1 JSON name, and the v2 addition must be the
-// separate "audit" key rather than a change to any existing field.
+// still be present with its v1 JSON name across later schema versions.
 func TestReportV1FieldsStable(t *testing.T) {
 	_, _, rep := runWCSReport(t)
 	var buf bytes.Buffer
@@ -140,19 +141,55 @@ func TestReportV1FieldsStable(t *testing.T) {
 	}
 	for _, f := range v1Fields {
 		if _, ok := raw[f]; !ok {
-			t.Errorf("v1 field %q missing from v2 report", f)
+			t.Errorf("v1 field %q missing from v%d report", f, ReportSchemaVersion)
 		}
-	}
-	if _, ok := raw["audit"]; !ok {
-		t.Error("v2 report missing the audit section")
 	}
 	var schema string
 	if err := json.Unmarshal(raw["schema"], &schema); err != nil || schema != ReportSchema {
 		t.Errorf("schema = %q (%v), want %q", schema, err, ReportSchema)
 	}
+}
+
+// TestReportV2FieldsStable guards v2 consumers: the "audit" section is
+// unchanged, and the v3 additions are the separate "profile" and
+// "trace_dropped" keys rather than changes to any existing field.
+func TestReportV2FieldsStable(t *testing.T) {
+	_, res, rep := runWCSReport(t)
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["audit"]; !ok {
+		t.Error("v2 audit section missing from v3 report")
+	}
+	if _, ok := raw["profile"]; !ok {
+		t.Error("v3 report missing the profile section")
+	}
 	var version int
-	if err := json.Unmarshal(raw["schema_version"], &version); err != nil || version != 2 {
-		t.Errorf("schema_version = %d (%v), want 2", version, err)
+	if err := json.Unmarshal(raw["schema_version"], &version); err != nil || version != 3 {
+		t.Errorf("schema_version = %d (%v), want 3", version, err)
+	}
+	// The profile section must uphold the conservation invariant against
+	// the cores section of the same report.
+	if rep.Profile == nil || len(rep.Profile.Cores) != len(rep.Cores) {
+		t.Fatalf("profile covers %d cores, report has %d", len(rep.Profile.Cores), len(rep.Cores))
+	}
+	for i, cs := range rep.Profile.Cores {
+		var sum uint64
+		for _, n := range cs.Causes {
+			sum += n
+		}
+		if sum != rep.Cores[i].CPU.StallCycles || sum != cs.StallCycles {
+			t.Errorf("core %d: causes sum %d, profile stall_cycles %d, cpu stall_cycles %d",
+				i, sum, cs.StallCycles, rep.Cores[i].CPU.StallCycles)
+		}
+	}
+	if len(res.StallSpans) == 0 {
+		t.Error("no stall spans captured on a profiled run")
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"hetcc/internal/cache"
 	"hetcc/internal/cpu"
 	"hetcc/internal/metrics"
+	"hetcc/internal/profile"
 	"hetcc/internal/sim"
 	"hetcc/internal/snooplogic"
 )
@@ -118,6 +119,14 @@ type Result struct {
 	// observed reachable states per core, per-line transition counts (nil
 	// unless Config.Audit).
 	Audit *audit.Summary
+	// Profile is the stall-cause ledger summary (nil unless Config.Profile).
+	// Per core, the sum of its causes equals CPU[i].StallCycles exactly.
+	Profile *profile.Summary
+	// StallSpans lists the contiguous same-cause stall runs per core
+	// (bounded, see profile.DefaultMaxSpans; captured only with
+	// Config.Profile).  The Chrome-trace exporter renders them as per-core
+	// lanes.
+	StallSpans []profile.Span
 }
 
 // Deadlocked reports whether the run ended in the paper's hardware
@@ -169,6 +178,12 @@ func (p *Platform) Run(maxCycles uint64) Result {
 		s := p.auditor.Summary()
 		s.Events = p.events.Counts()
 		res.Audit = &s
+	}
+	if p.profiler != nil {
+		p.profiler.Finish()
+		s := p.profiler.Summary()
+		res.Profile = &s
+		res.StallSpans = p.profiler.Spans()
 	}
 	if p.vcd != nil {
 		_ = p.vcd.w.Close(p.Engine.Now())

@@ -1,0 +1,444 @@
+// Package profile implements the per-core, per-cause stall-cycle ledger: it
+// attributes every CPU stall cycle to exactly one exclusive cause, so the
+// paper's evaluation question — *where do the cycles go* when heterogeneous
+// snoopers share a bus — has a machine-readable answer instead of the single
+// opaque StallCycles aggregate.
+//
+// The ledger is driven from two sides:
+//
+//   - the CPU classifies each stall episode as it begins (memory access,
+//     lock/flag spin, or cache drain) and ticks the ledger once per stalled
+//     CPU cycle, so the per-cause sums are conserved against
+//     cpu.Stats.StallCycles by construction;
+//   - the coherence event stream (package event) tracks the bus-side phase
+//     of the core's outstanding transactions — arbitration wait, ARTRY
+//     back-off, drain wait, data phase — refining memory-access stalls into
+//     the paper's cost components.
+//
+// The conservation invariant (DESIGN.md §9) is the load-bearing correctness
+// rule: for every core, the sum of attributed causes equals StallCycles
+// exactly.  A cycle the ledger cannot classify lands in CauseOther rather
+// than disappearing, so the invariant holds even if a new stall source is
+// added without instrumentation.
+//
+// Like the metrics and event layers, a nil *Ledger is valid everywhere and
+// records nothing: every hook is a single nil check when profiling is off.
+package profile
+
+import (
+	"fmt"
+	"io"
+
+	"hetcc/internal/bus"
+	"hetcc/internal/event"
+)
+
+// Cause enumerates the exclusive stall causes of the taxonomy (DESIGN.md §9).
+type Cause uint8
+
+const (
+	// CauseArb: the core's oldest bus transaction is queued awaiting
+	// arbitration (submitted, not yet granted, not under retry).
+	CauseArb Cause = iota
+	// CauseRetry: the core's transaction was ARTRYed and is in retry
+	// back-off or re-arbitration, with no dirty-line drain implicated.
+	CauseRetry
+	// CauseDrain: dirty-line drain/steal — the core's own write-back,
+	// software clean, or ISR drain is in flight, or its transaction is
+	// being retried while a remote owner (cache or ISR) drains the line.
+	CauseDrain
+	// CauseRefill: the granted data phase of a fill or uncached access is
+	// in progress (memory burst, single-word, or cache-to-cache latency).
+	CauseRefill
+	// CauseInval: an invalidation-induced re-miss — the whole stall of a
+	// miss on a line that was invalidated by a wrapper read→write
+	// conversion since the core last held it (the paper's coherence cost).
+	CauseInval
+	// CauseLock: lock acquisition/release memory operations and flag spin
+	// waits (WaitEq polling).
+	CauseLock
+	// CauseOther: stalled cycles the ledger could not classify.  Kept as an
+	// explicit bucket so the conservation invariant holds by construction.
+	CauseOther
+
+	causeCount
+)
+
+// String returns the cause's report key.
+func (c Cause) String() string {
+	switch c {
+	case CauseArb:
+		return "arb-wait"
+	case CauseRetry:
+		return "retry-backoff"
+	case CauseDrain:
+		return "drain"
+	case CauseRefill:
+		return "refill"
+	case CauseInval:
+		return "inval-remiss"
+	case CauseLock:
+		return "lock-spin"
+	case CauseOther:
+		return "other"
+	default:
+		return fmt.Sprintf("Cause(%d)", uint8(c))
+	}
+}
+
+// Causes lists every cause in display order (folded stacks, tests).
+func Causes() []Cause {
+	out := make([]Cause, 0, causeCount)
+	for c := Cause(0); c < causeCount; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// stallClass is the CPU-side classification of the current stall episode.
+type stallClass uint8
+
+const (
+	classNone stallClass = iota
+	classAccess
+	classLock
+	classDrain
+)
+
+// busPhase tracks where a core's oldest outstanding bus transaction is in
+// its lifecycle, reconstructed from the event stream.
+type busPhase uint8
+
+const (
+	phaseIdle busPhase = iota
+	phaseArb
+	phaseRetry
+	phaseDrainWait
+	phaseData
+)
+
+// Span is one contiguous run of stalled CPU cycles attributed to a single
+// cause, in engine cycles.  Package chrometrace renders spans as per-core
+// timeline lanes.
+type Span struct {
+	Core  int
+	Cause Cause
+	// Start is the engine cycle of the first stalled tick; End is one past
+	// the engine cycle of the last stalled tick of the span.
+	Start uint64
+	End   uint64
+}
+
+// DefaultMaxSpans bounds the retained stall spans so profiling-enabled runs
+// cannot grow memory without bound (mirrors platform.maxTenures).
+const DefaultMaxSpans = 1 << 17
+
+type coreState struct {
+	class        stallClass
+	inval        bool // the open access stall is an invalidation re-miss
+	pendingInval bool // the next access stall will be an invalidation re-miss
+
+	queued    int // outstanding bus transactions for this master
+	pendingWB int // of which write-backs (drains)
+	phase     busPhase
+	grantWB   bool // the in-flight data phase is a write-back
+
+	counts [causeCount]uint64
+
+	spanOpen  bool
+	spanCause Cause
+	spanStart uint64
+	spanEnd   uint64
+}
+
+// Ledger is the per-core stall accountant.  It is not safe for concurrent
+// use (the simulation kernel is single-threaded, DESIGN.md invariant 7).
+type Ledger struct {
+	cores        []coreState
+	spans        []Span
+	maxSpans     int
+	droppedSpans uint64
+}
+
+// NewLedger creates a ledger for cores CPU cores (bus masters 0..cores-1;
+// events from other masters, e.g. the DMA engine, are ignored).
+func NewLedger(cores int) *Ledger {
+	return &Ledger{cores: make([]coreState, cores), maxSpans: DefaultMaxSpans}
+}
+
+// Enabled reports whether the ledger records anything (false for nil).
+func (l *Ledger) Enabled() bool { return l != nil }
+
+func (l *Ledger) core(i int) *coreState {
+	if l == nil || i < 0 || i >= len(l.cores) {
+		return nil
+	}
+	return &l.cores[i]
+}
+
+func isWriteBack(kind uint8) bool {
+	return bus.Kind(kind) == bus.WriteLine || bus.Kind(kind) == bus.WriteLineInv
+}
+
+// HandleEvent consumes the coherence event stream, tracking each core's
+// bus-side transaction phase.  Subscribe it to the platform's event sink.
+func (l *Ledger) HandleEvent(r *event.Record) {
+	cs := l.core(r.Core)
+	if cs == nil {
+		return
+	}
+	switch r.Kind {
+	case event.BusRequest:
+		cs.queued++
+		if isWriteBack(r.BusKind) {
+			cs.pendingWB++
+		}
+		if cs.phase == phaseIdle {
+			cs.phase = phaseArb
+		}
+	case event.BusGrant:
+		cs.phase = phaseData
+		cs.grantWB = isWriteBack(r.BusKind)
+	case event.Retry:
+		if r.Drain {
+			cs.phase = phaseDrainWait
+		} else {
+			cs.phase = phaseRetry
+		}
+	case event.BusComplete:
+		if cs.queued > 0 {
+			cs.queued--
+		}
+		if isWriteBack(r.BusKind) && cs.pendingWB > 0 {
+			cs.pendingWB--
+		}
+		if cs.queued > 0 {
+			cs.phase = phaseArb
+		} else {
+			cs.phase = phaseIdle
+		}
+	}
+}
+
+// StallAccess marks the start of a memory-access stall (cache miss, bus
+// write, or uncached access) for core.
+func (l *Ledger) StallAccess(core int) {
+	if cs := l.core(core); cs != nil {
+		cs.class = classAccess
+		cs.inval = cs.pendingInval
+		cs.pendingInval = false
+	}
+}
+
+// StallLock marks the start of a lock-protocol or flag-spin stall for core.
+func (l *Ledger) StallLock(core int) {
+	if cs := l.core(core); cs != nil {
+		cs.class = classLock
+		cs.inval, cs.pendingInval = false, false
+	}
+}
+
+// StallDrain marks the start of a cache-drain stall for core (software
+// clean, explicit cache op, or ISR drain).
+func (l *Ledger) StallDrain(core int) {
+	if cs := l.core(core); cs != nil {
+		cs.class = classDrain
+		cs.inval, cs.pendingInval = false, false
+	}
+}
+
+// StallEnd marks the end of a stall episode: the CPU calls it on the first
+// non-stalled tick after a stall.
+func (l *Ledger) StallEnd(core int) {
+	if cs := l.core(core); cs != nil {
+		l.closeSpan(core, cs)
+		cs.class = classNone
+		cs.inval, cs.pendingInval = false, false
+	}
+}
+
+// NoteInvalMiss flags the core's current (or imminent) memory-access stall
+// as an invalidation-induced re-miss.  The cache controller calls it when a
+// fill targets a line that a wrapper read→write conversion invalidated since
+// the core last held it.
+func (l *Ledger) NoteInvalMiss(core int) {
+	if cs := l.core(core); cs != nil {
+		if cs.class == classAccess {
+			cs.inval = true
+		} else {
+			cs.pendingInval = true
+		}
+	}
+}
+
+// resolve maps the core's current state to the exclusive cause of this
+// stalled cycle.
+func (cs *coreState) resolve() Cause {
+	switch cs.class {
+	case classLock:
+		return CauseLock
+	case classDrain:
+		return CauseDrain
+	case classAccess:
+		if cs.inval {
+			return CauseInval
+		}
+		switch cs.phase {
+		case phaseData:
+			if cs.grantWB {
+				return CauseDrain // eviction/clean write-back transfer
+			}
+			return CauseRefill
+		case phaseDrainWait:
+			return CauseDrain
+		case phaseRetry:
+			return CauseRetry
+		case phaseArb:
+			if cs.pendingWB > 0 {
+				return CauseDrain // a queued write-back blocks the fill
+			}
+			return CauseArb
+		}
+	}
+	return CauseOther
+}
+
+// StallTick attributes one stalled CPU cycle for core at engine cycle now.
+// The CPU calls it at exactly the site that increments Stats.StallCycles, so
+// the per-cause sums and the aggregate are conserved against each other.
+func (l *Ledger) StallTick(core int, now uint64) {
+	cs := l.core(core)
+	if cs == nil {
+		return
+	}
+	cause := cs.resolve()
+	cs.counts[cause]++
+	if cs.spanOpen && cs.spanCause == cause {
+		cs.spanEnd = now + 1
+		return
+	}
+	l.closeSpan(core, cs)
+	cs.spanOpen = true
+	cs.spanCause = cause
+	cs.spanStart = now
+	cs.spanEnd = now + 1
+}
+
+func (l *Ledger) closeSpan(core int, cs *coreState) {
+	if !cs.spanOpen {
+		return
+	}
+	cs.spanOpen = false
+	if len(l.spans) >= l.maxSpans {
+		l.droppedSpans++
+		return
+	}
+	l.spans = append(l.spans, Span{Core: core, Cause: cs.spanCause, Start: cs.spanStart, End: cs.spanEnd})
+}
+
+// Finish closes any open spans.  The platform calls it once at the end of
+// the run, before Summary and Spans.
+func (l *Ledger) Finish() {
+	if l == nil {
+		return
+	}
+	for i := range l.cores {
+		l.closeSpan(i, &l.cores[i])
+	}
+}
+
+// Spans returns the recorded stall spans in emission order (nil for a nil
+// ledger).  Call Finish first so trailing stalls are included.
+func (l *Ledger) Spans() []Span {
+	if l == nil {
+		return nil
+	}
+	out := make([]Span, len(l.spans))
+	copy(out, l.spans)
+	return out
+}
+
+// Count returns core's attributed cycles for cause (0 for nil or out of
+// range).
+func (l *Ledger) Count(core int, cause Cause) uint64 {
+	cs := l.core(core)
+	if cs == nil || cause >= causeCount {
+		return 0
+	}
+	return cs.counts[cause]
+}
+
+// Total returns core's total attributed stall cycles.
+func (l *Ledger) Total(core int) uint64 {
+	cs := l.core(core)
+	if cs == nil {
+		return 0
+	}
+	var t uint64
+	for _, n := range cs.counts {
+		t += n
+	}
+	return t
+}
+
+// CoreSummary is one core's slice of the ledger.
+type CoreSummary struct {
+	Core int `json:"core"`
+	// StallCycles is the sum of all attributed causes; the conservation
+	// invariant requires it to equal the core's cpu.Stats.StallCycles.
+	StallCycles uint64 `json:"stall_cycles"`
+	// Causes maps cause name to attributed CPU cycles (non-zero causes
+	// only; keys sort deterministically under encoding/json).
+	Causes map[string]uint64 `json:"causes"`
+}
+
+// Summary is the serialisable end-of-run view of the ledger.
+type Summary struct {
+	Cores []CoreSummary `json:"cores"`
+	// DroppedSpans counts stall spans discarded beyond the retention bound
+	// (the per-cause cycle counts are never dropped).
+	DroppedSpans uint64 `json:"dropped_spans,omitempty"`
+}
+
+// Summary renders the ledger (zero value for nil).
+func (l *Ledger) Summary() Summary {
+	if l == nil {
+		return Summary{}
+	}
+	s := Summary{DroppedSpans: l.droppedSpans}
+	for i := range l.cores {
+		cs := &l.cores[i]
+		c := CoreSummary{Core: i, Causes: make(map[string]uint64)}
+		for cause := Cause(0); cause < causeCount; cause++ {
+			if n := cs.counts[cause]; n > 0 {
+				c.Causes[cause.String()] = n
+				c.StallCycles += n
+			}
+		}
+		s.Cores = append(s.Cores, c)
+	}
+	return s
+}
+
+// WriteFolded writes the summary as folded stacks — one "core;cause count"
+// line per non-zero cause — the input format of flamegraph tooling
+// (flamegraph.pl, inferno, speedscope).  coreName labels the first frame
+// (nil falls back to "core N").
+func WriteFolded(w io.Writer, s Summary, coreName func(int) string) error {
+	for _, c := range s.Cores {
+		label := fmt.Sprintf("core%d", c.Core)
+		if coreName != nil {
+			label = coreName(c.Core)
+		}
+		for _, cause := range Causes() {
+			n := c.Causes[cause.String()]
+			if n == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s;%s %d\n", label, cause, n); err != nil {
+				return fmt.Errorf("profile: folded write: %w", err)
+			}
+		}
+	}
+	return nil
+}

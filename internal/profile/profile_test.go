@@ -1,0 +1,266 @@
+package profile
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"hetcc/internal/bus"
+	"hetcc/internal/event"
+)
+
+// TestNilLedgerIsSafe exercises every hook and accessor on a nil ledger:
+// the disabled path must be a no-op, never a panic.
+func TestNilLedgerIsSafe(t *testing.T) {
+	var l *Ledger
+	l.StallAccess(0)
+	l.StallLock(0)
+	l.StallDrain(0)
+	l.StallEnd(0)
+	l.NoteInvalMiss(0)
+	l.StallTick(0, 10)
+	l.HandleEvent(&event.Record{Kind: event.BusRequest})
+	l.Finish()
+	if l.Enabled() || l.Spans() != nil || l.Total(0) != 0 || l.Count(0, CauseArb) != 0 {
+		t.Fatal("nil ledger misbehaves")
+	}
+	if s := l.Summary(); len(s.Cores) != 0 {
+		t.Fatalf("nil ledger summary %+v, want zero", s)
+	}
+}
+
+// TestCauseStrings pins the report keys; Causes() must enumerate them all.
+func TestCauseStrings(t *testing.T) {
+	want := map[Cause]string{
+		CauseArb: "arb-wait", CauseRetry: "retry-backoff", CauseDrain: "drain",
+		CauseRefill: "refill", CauseInval: "inval-remiss",
+		CauseLock: "lock-spin", CauseOther: "other",
+	}
+	all := Causes()
+	if len(want) != len(all) {
+		t.Fatalf("test covers %d causes, package has %d", len(want), len(all))
+	}
+	for _, c := range all {
+		if want[c] != c.String() {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want[c])
+		}
+	}
+	if !strings.Contains(Cause(99).String(), "99") {
+		t.Errorf("unknown cause renders %q", Cause(99).String())
+	}
+}
+
+// drive replays a scripted bus lifecycle for core 0 through HandleEvent.
+func drive(l *Ledger, kind event.Kind, busKind bus.Kind, drain bool) {
+	l.HandleEvent(&event.Record{Kind: kind, Core: 0, BusKind: uint8(busKind), Drain: drain})
+}
+
+// TestAccessCauseFollowsBusPhase walks one fill transaction through its
+// phases and checks each stalled tick lands in the matching bucket.
+func TestAccessCauseFollowsBusPhase(t *testing.T) {
+	l := NewLedger(1)
+	l.StallAccess(0)
+
+	l.StallTick(0, 1) // no transaction visible yet: unclassified
+	drive(l, event.BusRequest, bus.ReadLine, false)
+	l.StallTick(0, 2) // queued, not granted: arbitration wait
+	drive(l, event.Retry, bus.ReadLine, false)
+	l.StallTick(0, 3) // plain ARTRY: retry backoff
+	drive(l, event.Retry, bus.ReadLine, true)
+	l.StallTick(0, 4) // drain-qualified ARTRY: drain
+	drive(l, event.BusGrant, bus.ReadLine, false)
+	l.StallTick(0, 5) // data phase of a read: refill
+	drive(l, event.BusComplete, bus.ReadLine, false)
+	l.StallEnd(0)
+
+	want := map[Cause]uint64{CauseOther: 1, CauseArb: 1, CauseRetry: 1, CauseDrain: 1, CauseRefill: 1}
+	for c, n := range want {
+		if got := l.Count(0, c); got != n {
+			t.Errorf("%v = %d, want %d", c, got, n)
+		}
+	}
+	if l.Total(0) != 5 {
+		t.Fatalf("total %d, want 5", l.Total(0))
+	}
+}
+
+// TestWriteBackPhasesCountAsDrain checks a queued or granted write-back
+// attributes the wait to the drain bucket, not arbitration/refill.
+func TestWriteBackPhasesCountAsDrain(t *testing.T) {
+	l := NewLedger(1)
+	l.StallAccess(0)
+	drive(l, event.BusRequest, bus.WriteLine, false) // eviction WB queued
+	drive(l, event.BusRequest, bus.ReadLine, false)  // fill queued behind it
+	l.StallTick(0, 1)                                // arb with a pending WB: drain
+	drive(l, event.BusGrant, bus.WriteLine, false)
+	l.StallTick(0, 2) // WB data phase: drain
+	drive(l, event.BusComplete, bus.WriteLine, false)
+	drive(l, event.BusGrant, bus.ReadLine, false)
+	l.StallTick(0, 3) // fill data phase: refill
+	drive(l, event.BusComplete, bus.ReadLine, false)
+	l.StallEnd(0)
+
+	if got := l.Count(0, CauseDrain); got != 2 {
+		t.Errorf("drain = %d, want 2", got)
+	}
+	if got := l.Count(0, CauseRefill); got != 1 {
+		t.Errorf("refill = %d, want 1", got)
+	}
+}
+
+// TestInvalMissAttribution checks the NoteInvalMiss flag dominates the bus
+// phase for the whole stall, is consumed by the stall end, and may arrive
+// before the stall class is set.
+func TestInvalMissAttribution(t *testing.T) {
+	l := NewLedger(1)
+	// Controller classifies the miss before the CPU observes Pending.
+	l.NoteInvalMiss(0)
+	l.StallAccess(0)
+	drive(l, event.BusRequest, bus.ReadLine, false)
+	l.StallTick(0, 1)
+	drive(l, event.BusGrant, bus.ReadLine, false)
+	l.StallTick(0, 2)
+	drive(l, event.BusComplete, bus.ReadLine, false)
+	l.StallEnd(0)
+	if got := l.Count(0, CauseInval); got != 2 {
+		t.Fatalf("inval-remiss = %d, want 2 (flag must span the whole stall)", got)
+	}
+	// The next ordinary stall must not inherit the flag.
+	l.StallAccess(0)
+	drive(l, event.BusRequest, bus.ReadLine, false)
+	l.StallTick(0, 10)
+	l.StallEnd(0)
+	if got := l.Count(0, CauseInval); got != 2 {
+		t.Fatalf("inval-remiss leaked into a later stall: %d", got)
+	}
+}
+
+// TestLockAndDrainClassesDominate checks the CPU-side class overrides the
+// bus phase entirely.
+func TestLockAndDrainClassesDominate(t *testing.T) {
+	l := NewLedger(1)
+	l.StallLock(0)
+	drive(l, event.BusRequest, bus.RMWWord, false)
+	drive(l, event.BusGrant, bus.RMWWord, false)
+	l.StallTick(0, 1)
+	l.StallEnd(0)
+	drive(l, event.BusComplete, bus.RMWWord, false)
+	l.StallDrain(0)
+	l.StallTick(0, 2)
+	l.StallEnd(0)
+	if l.Count(0, CauseLock) != 1 || l.Count(0, CauseDrain) != 1 {
+		t.Fatalf("lock=%d drain=%d, want 1/1", l.Count(0, CauseLock), l.Count(0, CauseDrain))
+	}
+}
+
+// TestSpans checks contiguous same-cause runs coalesce, cause changes split,
+// and Finish closes the trailing span.
+func TestSpans(t *testing.T) {
+	l := NewLedger(2)
+	l.StallLock(0)
+	l.StallTick(0, 10)
+	l.StallTick(0, 12) // same cause: extends, clock-divided gaps tolerated
+	l.StallEnd(0)
+	l.StallDrain(1)
+	l.StallTick(1, 11)
+	l.Finish()
+
+	spans := l.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("%d spans, want 2: %+v", len(spans), spans)
+	}
+	if spans[0] != (Span{Core: 0, Cause: CauseLock, Start: 10, End: 13}) {
+		t.Errorf("span 0 = %+v", spans[0])
+	}
+	if spans[1] != (Span{Core: 1, Cause: CauseDrain, Start: 11, End: 12}) {
+		t.Errorf("span 1 = %+v", spans[1])
+	}
+}
+
+// TestSpanBound checks the retention bound drops spans (never counts) and
+// reports the loss.
+func TestSpanBound(t *testing.T) {
+	l := NewLedger(1)
+	l.maxSpans = 2
+	for i := 0; i < 4; i++ {
+		l.StallLock(0)
+		l.StallTick(0, uint64(10*i))
+		l.StallEnd(0)
+	}
+	if got := len(l.Spans()); got != 2 {
+		t.Fatalf("%d spans retained, want 2", got)
+	}
+	s := l.Summary()
+	if s.DroppedSpans != 2 {
+		t.Fatalf("dropped %d, want 2", s.DroppedSpans)
+	}
+	if l.Total(0) != 4 {
+		t.Fatalf("counts must survive span drops: total %d, want 4", l.Total(0))
+	}
+}
+
+// TestSummaryAndFolded checks the summary arithmetic and the folded-stack
+// rendering (core;cause count, display order, zero causes omitted).
+func TestSummaryAndFolded(t *testing.T) {
+	l := NewLedger(2)
+	l.StallLock(0)
+	l.StallTick(0, 1)
+	l.StallTick(0, 2)
+	l.StallEnd(0)
+	l.StallDrain(1)
+	l.StallTick(1, 3)
+	l.Finish()
+
+	s := l.Summary()
+	if len(s.Cores) != 2 || s.Cores[0].StallCycles != 2 || s.Cores[1].StallCycles != 1 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.Cores[0].Causes["lock-spin"] != 2 || len(s.Cores[0].Causes) != 1 {
+		t.Fatalf("core 0 causes %v", s.Cores[0].Causes)
+	}
+
+	var sb strings.Builder
+	if err := WriteFolded(&sb, s, func(i int) string { return []string{"ppc", "arm"}[i] }); err != nil {
+		t.Fatal(err)
+	}
+	want := "ppc;lock-spin 2\narm;drain 1\n"
+	if sb.String() != want {
+		t.Fatalf("folded output %q, want %q", sb.String(), want)
+	}
+
+	sb.Reset()
+	if err := WriteFolded(&sb, s, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "core0;lock-spin 2\n") {
+		t.Fatalf("default labels wrong: %q", sb.String())
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestWriteFoldedPropagatesErrors(t *testing.T) {
+	l := NewLedger(1)
+	l.StallLock(0)
+	l.StallTick(0, 1)
+	l.Finish()
+	if err := WriteFolded(failWriter{}, l.Summary(), nil); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}
+
+// TestOutOfRangeCoresIgnored checks events and hooks for masters beyond the
+// core range (the DMA engine) are ignored, not crashed on.
+func TestOutOfRangeCoresIgnored(t *testing.T) {
+	l := NewLedger(1)
+	l.HandleEvent(&event.Record{Kind: event.BusRequest, Core: 5})
+	l.HandleEvent(&event.Record{Kind: event.BusRequest, Core: -1})
+	l.StallAccess(7)
+	l.StallTick(7, 1)
+	l.StallEnd(7)
+	if l.Total(0) != 0 {
+		t.Fatal("out-of-range activity leaked into core 0")
+	}
+}

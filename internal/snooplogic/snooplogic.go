@@ -132,7 +132,7 @@ func (sl *SnoopLogic) SnoopBus(t *bus.Transaction) bus.SnoopReply {
 	if sl.pending[base] {
 		sl.stats.RetriesWhilePending++
 		sl.retried[base] = t.Master
-		return bus.SnoopReply{Retry: true}
+		return bus.SnoopReply{Retry: true, Drain: true}
 	}
 	if !sl.cam[base] {
 		return bus.SnoopReply{}
@@ -147,7 +147,7 @@ func (sl *SnoopLogic) SnoopBus(t *bus.Transaction) bus.SnoopReply {
 	if sl.fiq != nil {
 		sl.fiq.RaiseFIQ(base)
 	}
-	return bus.SnoopReply{Retry: true}
+	return bus.SnoopReply{Retry: true, Drain: true}
 }
 
 // observe watches the owner's completed transactions to shadow the cache
