@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify bench bench-diff gobench bench-metrics bench-audit fmt vet
+.PHONY: all build test race verify allocs bench bench-diff gobench bench-metrics bench-audit fmt vet
 
 all: build
 
@@ -32,6 +32,12 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Alloc-regression suite: AllocsPerRun pins of the zero-garbage hot path
+# (bus tick, ARTRY storm, snoop broadcast, event emit, metrics records).
+# Any nonzero allocs/op in steady state fails.
+allocs:
+	$(GO) test -run TestAllocs -v ./internal/bus ./internal/event ./internal/metrics
 
 # Simulated-cycle benchmark suite (cmd/bench): 27 deterministic runs whose
 # cycle counts are machine-independent.  `make bench` refreshes BENCH_dev.json;

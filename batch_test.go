@@ -3,7 +3,10 @@ package hetcc_test
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -12,9 +15,12 @@ import (
 	"hetcc/internal/workload"
 )
 
+var updateGoldens = flag.Bool("update", false, "rewrite the golden batch-digest file")
+
 // determinismBatch is a representative run matrix: every case-study platform
-// × scenario × solution, with verification and auditing on so the reports
-// carry the full schema-v2 payload (stats, violations, audit summary).
+// × scenario × solution, with verification, auditing and profiling on so the
+// reports carry the full schema-v3 payload (stats, violations, audit
+// summary, stall-cause profile).
 func determinismBatch(t *testing.T) []hetcc.BatchSpec {
 	t.Helper()
 	presets := []struct {
@@ -38,6 +44,7 @@ func determinismBatch(t *testing.T) []hetcc.BatchSpec {
 						Params:     hetcc.Params{Lines: 4, ExecTime: 1, Iterations: 2},
 						Verify:     true,
 						Audit:      true,
+						Profile:    true,
 						MaxCycles:  5_000_000,
 					},
 				})
@@ -160,5 +167,73 @@ func TestBatchErrorHandling(t *testing.T) {
 	}
 	if _, err := hetcc.BatchDigest(results); err == nil {
 		t.Fatal("BatchDigest accepted a failed batch")
+	}
+}
+
+// TestBatchGoldenDigests pins the jobs=1 report digests of the full
+// 27-combination matrix (platform × scenario × solution, schema-v3 reports
+// with audit and profile sections) against a committed golden file.  This is
+// the differential gate for behavior-preserving optimizations: a hot-loop
+// change that alters even one simulated cycle, stat counter or profile span
+// shifts a digest and fails here.  Regenerate with `go test -run
+// TestBatchGoldenDigests -update .` only when an intentional model change
+// shipped.
+func TestBatchGoldenDigests(t *testing.T) {
+	type golden struct {
+		ReportSchemaVersion int               `json:"report_schema_version"`
+		BatchDigest         string            `json:"batch_digest"`
+		Runs                map[string]string `json:"runs"`
+	}
+	specs := determinismBatch(t)
+	results := hetcc.RunBatch(specs, hetcc.BatchOptions{Jobs: 1, Reports: true})
+	if err := hetcc.BatchFirstError(results); err != nil {
+		t.Fatalf("batch failed: %v", err)
+	}
+	batch, err := hetcc.BatchDigest(results)
+	if err != nil {
+		t.Fatalf("batch digest: %v", err)
+	}
+	cur := golden{
+		ReportSchemaVersion: platform.ReportSchemaVersion,
+		BatchDigest:         batch,
+		Runs:                make(map[string]string, len(results)),
+	}
+	for _, r := range results {
+		cur.Runs[r.Label] = r.Digest
+	}
+	path := filepath.Join("testdata", "batch_digests_v3.json")
+	if *updateGoldens {
+		raw, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	var want golden
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	if want.ReportSchemaVersion != platform.ReportSchemaVersion {
+		t.Fatalf("golden file pins schema v%d, code is v%d (regenerate with -update after a deliberate schema bump)",
+			want.ReportSchemaVersion, platform.ReportSchemaVersion)
+	}
+	for _, r := range results {
+		if got, want := r.Digest, want.Runs[r.Label]; got != want {
+			t.Errorf("%s: report digest %s, golden %s (simulation behavior changed)", r.Label, got, want)
+		}
+	}
+	if batch != want.BatchDigest {
+		t.Errorf("batch digest %s, golden %s", batch, want.BatchDigest)
 	}
 }

@@ -140,7 +140,10 @@ type Result struct {
 	Shared bool
 	// Supplied indicates a cache-to-cache transfer served the data.
 	Supplied bool
-	// Data is the fill payload for line reads.
+	// Data is the fill payload for line reads.  It aliases a pooled buffer
+	// that the bus reclaims as soon as the completion callback (and any
+	// observers) return — consumers that keep fill data must copy it out
+	// during the callback.
 	Data []uint32
 	// Val is the read value for ReadWord and the *old* value for RMWWord.
 	Val uint32
@@ -156,7 +159,9 @@ type SnoopReply struct {
 	Retry bool
 	// Supply: the snooper provides the line cache-to-cache.
 	Supply bool
-	// Data is the supplied line when Supply is set.
+	// Data is the supplied line when Supply is set.  The bus copies it into
+	// a buffer of its own before SnoopBus's caller returns, so the reply may
+	// alias the snooper's live line storage — no defensive copy needed.
 	Data []uint32
 	// Drain qualifies Retry: the snooper asserted it because a dirty-line
 	// drain (flush in flight or pending ISR) must finish before the
@@ -197,7 +202,7 @@ type pending struct {
 
 type masterState struct {
 	name  string
-	queue []pending
+	queue pendingRing
 	// holdUntil stalls the master's next grant until this bus cycle — the
 	// back-off a real master applies after an ARTRY before re-requesting.
 	holdUntil uint64
@@ -256,19 +261,33 @@ type Bus struct {
 	// snoopers[i] holds the snoopers owned by master i (skipped for its
 	// own transactions).
 	snoopers [][]Snooper
-	devices  []Device
-	obs      []Observer
-	log      *trace.Log
+	// fanout[i] is the flattened snoop set consulted for master i's
+	// transactions — every snooper *not* owned by i, in registration order.
+	// Precomputed (FinalizeTopology, or lazily on first use after a
+	// registration) so each broadcast walks one flat slice instead of
+	// filtering the per-owner lists.
+	fanout      [][]Snooper
+	fanoutStale bool
+	devices     []Device
+	obs         []Observer
+	log         *trace.Log
 
 	// tenure state
 	busy      bool
 	remaining int
 	cur       pending
 	curRes    Result
+	// curBuf is the pooled fill buffer backing curRes.Data (nil when the
+	// data came from a device or the tenure carries none); reclaimed at the
+	// end of complete, after the completion callback has run.
+	curBuf    []uint32
 	curMaster int
 	curKind   Kind
 	curAddr   uint32
 	curAbort  bool
+
+	// fills recycles Result.Data buffers across tenures (see linePool).
+	fills linePool
 
 	lastGranted   int
 	preferredNext int // master to grant next after an ARTRY (BOFF), -1 none
@@ -335,6 +354,7 @@ func New(cfg Config, mem *memory.Memory, log *trace.Log) *Bus {
 func (b *Bus) AddMaster(name string) int {
 	b.masters = append(b.masters, &masterState{name: name})
 	b.snoopers = append(b.snoopers, nil)
+	b.fanoutStale = true
 	return len(b.masters) - 1
 }
 
@@ -355,6 +375,30 @@ func (b *Bus) SetMasterLatency(id, busCycles int) {
 // consulted for transactions initiated by its own master.
 func (b *Bus) AddSnooper(owner int, s Snooper) {
 	b.snoopers[owner] = append(b.snoopers[owner], s)
+	b.fanoutStale = true
+}
+
+// FinalizeTopology precomputes the per-master snoop fan-out sets.  Platform
+// construction calls it once after all masters and snoopers are registered;
+// late registrations are still legal (the sets rebuild lazily on the next
+// broadcast), so this is a hot-loop optimisation, not an API obligation.
+func (b *Bus) FinalizeTopology() { b.rebuildFanout() }
+
+func (b *Bus) rebuildFanout() {
+	if cap(b.fanout) < len(b.masters) {
+		b.fanout = make([][]Snooper, len(b.masters))
+	}
+	b.fanout = b.fanout[:len(b.masters)]
+	for i := range b.fanout {
+		b.fanout[i] = b.fanout[i][:0]
+		for owner, list := range b.snoopers {
+			if owner == i {
+				continue
+			}
+			b.fanout[i] = append(b.fanout[i], list...)
+		}
+	}
+	b.fanoutStale = false
 }
 
 // AddDevice registers a memory-mapped slave.  Devices are decoded before
@@ -404,7 +448,7 @@ func (b *Bus) Submit(t *Transaction, done func(Result)) {
 	}
 	t.submitCycle = b.cycle
 	b.events.BusRequest(t.Master, uint8(t.Kind), t.Addr)
-	b.masters[t.Master].queue = append(b.masters[t.Master].queue, pending{txn: t, done: done})
+	b.masters[t.Master].queue.pushBack(pending{txn: t, done: done})
 }
 
 // SubmitFlush queues a snoop-triggered write-back for master id.  It is
@@ -417,16 +461,14 @@ func (b *Bus) SubmitFlush(t *Transaction, done func(Result)) {
 	t.submitCycle = b.cycle
 	b.events.BusRequest(t.Master, uint8(t.Kind), t.Addr)
 	idx := 0
-	for idx < len(m.queue) && m.queue[idx].txn.retries > 0 {
+	for idx < m.queue.len() && m.queue.at(idx).txn.retries > 0 {
 		idx++
 	}
-	m.queue = append(m.queue, pending{})
-	copy(m.queue[idx+1:], m.queue[idx:])
-	m.queue[idx] = pending{txn: t, done: done}
+	m.queue.insertAt(idx, pending{txn: t, done: done})
 }
 
 // QueueLen reports the number of requests pending for master id.
-func (b *Bus) QueueLen(id int) int { return len(b.masters[id].queue) }
+func (b *Bus) QueueLen(id int) int { return b.masters[id].queue.len() }
 
 // Idle reports whether the bus has no tenure in progress and no queued work.
 func (b *Bus) Idle() bool {
@@ -434,7 +476,7 @@ func (b *Bus) Idle() bool {
 		return false
 	}
 	for _, m := range b.masters {
-		if len(m.queue) > 0 {
+		if m.queue.len() > 0 {
 			return false
 		}
 	}
@@ -474,6 +516,7 @@ func (b *Bus) Tick(now uint64) {
 				}
 				b.cur = pt.p
 				b.curRes = pt.res
+				b.curBuf = pt.buf
 				b.curMaster = pt.p.txn.Master
 				b.curKind = pt.p.txn.Kind
 				b.curAddr = pt.p.txn.Addr
@@ -499,10 +542,10 @@ func (b *Bus) pickMasterExcludingLine(addr uint32, curMaster int) int {
 	const granule = 32
 	ready := func(id int) bool {
 		m := b.masters[id]
-		if id == curMaster || len(m.queue) == 0 || b.cycle < m.holdUntil {
+		if id == curMaster || m.queue.len() == 0 || b.cycle < m.holdUntil {
 			return false
 		}
-		return m.queue[0].txn.Addr/granule != addr/granule
+		return m.queue.at(0).txn.Addr/granule != addr/granule
 	}
 	if b.preferredNext >= 0 && ready(b.preferredNext) {
 		id := b.preferredNext
@@ -522,7 +565,7 @@ func (b *Bus) pickMasterExcludingLine(addr uint32, curMaster int) int {
 func (b *Bus) pickMaster() int {
 	ready := func(id int) bool {
 		m := b.masters[id]
-		return len(m.queue) > 0 && b.cycle >= m.holdUntil
+		return m.queue.len() > 0 && b.cycle >= m.holdUntil
 	}
 	if b.preferredNext >= 0 && ready(b.preferredNext) {
 		id := b.preferredNext
@@ -546,6 +589,9 @@ type prepared struct {
 	res     Result
 	latency int
 	ok      bool // false: the tenure was ARTRYed
+	// buf is the pooled buffer backing res.Data, if any; it travels with the
+	// tenure so complete can return it to the pool.
+	buf []uint32
 }
 
 func (b *Bus) grant(now uint64, id int) {
@@ -560,36 +606,34 @@ func (b *Bus) grant(now uint64, id int) {
 	b.remaining = 1 + pt.latency // address phase + data; grant was the arbitration cycle
 	b.cur = pt.p
 	b.curRes = pt.res
+	b.curBuf = pt.buf
 }
 
 func (b *Bus) prepare(now uint64, id int) prepared {
 	m := b.masters[id]
-	p := m.queue[0]
-	m.queue = m.queue[1:]
+	p := m.queue.popFront()
 	b.lastGranted = id
 	b.stats.Tenures++
 	t := p.txn
 	b.curMaster, b.curKind, b.curAddr, b.curAbort = id, t.Kind, t.Addr, false
 	b.curRetries = t.retries
 
-	// Address phase: present the transaction to every other master's
-	// snoopers and combine their replies.
+	// Address phase: present the transaction to the precomputed snoop
+	// fan-out of its master and combine the replies.
 	var shared, retry, supply, drain bool
 	var supplied []uint32
 	if t.Kind.Snooped() {
-		for owner, list := range b.snoopers {
-			if owner == t.Master {
-				continue
-			}
-			for _, s := range list {
-				r := s.SnoopBus(t)
-				shared = shared || r.Shared
-				retry = retry || r.Retry
-				drain = drain || r.Drain
-				if r.Supply {
-					supply = true
-					supplied = r.Data
-				}
+		if b.fanoutStale {
+			b.rebuildFanout()
+		}
+		for _, s := range b.fanout[t.Master] {
+			r := s.SnoopBus(t)
+			shared = shared || r.Shared
+			retry = retry || r.Retry
+			drain = drain || r.Drain
+			if r.Supply {
+				supply = true
+				supplied = r.Data
 			}
 		}
 	}
@@ -601,10 +645,12 @@ func (b *Bus) prepare(now uint64, id int) prepared {
 		b.curRetries = t.retries
 		b.stats.Aborted++
 		b.consecutiveAborts++
-		b.log.Addf(now, "bus", "ARTRY %s %s 0x%08x (retry %d)", m.name, t.Kind, t.Addr, t.retries)
+		if b.log.Enabled() {
+			b.log.Addf(now, "bus", "ARTRY %s %s 0x%08x (retry %d)", m.name, t.Kind, t.Addr, t.retries)
+		}
 		b.curAbort = true
 		b.events.Retry(t.Master, uint8(t.Kind), t.Addr, t.retries, drain)
-		m.queue = append([]pending{p}, m.queue...)
+		m.queue.pushFront(p)
 		m.holdUntil = b.cycle + uint64(b.cfg.RetryBackoff)
 		// Two livelock signatures: nothing at all completing (the paper's
 		// Figure 4 deadlock, both masters stalled), or one master's
@@ -613,7 +659,9 @@ func (b *Bus) prepare(now uint64, id int) prepared {
 		// ISR).  Either way the system has lost forward progress.
 		if (b.consecutiveAborts >= b.cfg.DeadlockThreshold || t.retries >= b.cfg.DeadlockThreshold) && !b.deadlock {
 			b.deadlock = true
-			b.log.Addf(now, "bus", "hardware deadlock detected (consecutive aborts %d, transaction retries %d)", b.consecutiveAborts, t.retries)
+			if b.log.Enabled() {
+				b.log.Addf(now, "bus", "hardware deadlock detected (consecutive aborts %d, transaction retries %d)", b.consecutiveAborts, t.retries)
+			}
 			if b.onDeadlock != nil {
 				b.onDeadlock()
 			}
@@ -634,11 +682,13 @@ func (b *Bus) prepare(now uint64, id int) prepared {
 			break
 		}
 	}
+	var buf []uint32
 	switch {
 	case supply && (t.Kind == ReadLine || t.Kind == ReadLineOwn):
 		res.Supplied = true
-		res.Data = make([]uint32, t.Words)
-		copy(res.Data, supplied)
+		buf = b.fills.get(t.Words)
+		copy(buf, supplied)
+		res.Data = buf
 		latency = b.cfg.C2CFirst + (t.Words-1)*b.cfg.C2CPerWord
 		b.stats.Supplied++
 		b.stats.LineFills++
@@ -648,14 +698,19 @@ func (b *Bus) prepare(now uint64, id int) prepared {
 		b.countKind(t.Kind)
 	default:
 		latency = b.memAccess(t, &res)
+		if t.Kind == ReadLine || t.Kind == ReadLineOwn {
+			buf = res.Data
+		}
 	}
 	if shared {
 		b.stats.SharedSeen++
 	}
 
 	latency += m.latency // wrapper protocol-conversion cost
-	b.log.Addf(now, "bus", "grant %s %s 0x%08x shared=%v lat=%d", m.name, t.Kind, t.Addr, shared, latency)
-	return prepared{p: p, res: res, latency: latency, ok: true}
+	if b.log.Enabled() {
+		b.log.Addf(now, "bus", "grant %s %s 0x%08x shared=%v lat=%d", m.name, t.Kind, t.Addr, shared, latency)
+	}
+	return prepared{p: p, res: res, latency: latency, ok: true, buf: buf}
 }
 
 func (b *Bus) countKind(k Kind) {
@@ -681,7 +736,7 @@ func (b *Bus) memAccess(t *Transaction, res *Result) int {
 	b.countKind(t.Kind)
 	switch t.Kind {
 	case ReadLine, ReadLineOwn:
-		res.Data = make([]uint32, t.Words)
+		res.Data = b.fills.get(t.Words)
 		b.mem.ReadLine(t.Addr, res.Data)
 		return b.cfg.Timing.BurstLatency(t.Words)
 	case WriteLine, WriteLineInv:
@@ -710,8 +765,8 @@ func (b *Bus) memAccess(t *Transaction, res *Result) int {
 
 func (b *Bus) complete(now uint64) {
 	b.busy = false
-	p, res := b.cur, b.curRes
-	b.cur, b.curRes = pending{}, Result{}
+	p, res, buf := b.cur, b.curRes, b.curBuf
+	b.cur, b.curRes, b.curBuf = pending{}, Result{}, nil
 	if b.onTenure != nil {
 		b.onTenure(Tenure{
 			Master:  b.curMaster,
@@ -729,7 +784,9 @@ func (b *Bus) complete(now uint64) {
 	b.mTenure.Observe(now - b.curStart)
 	b.mRetries.Observe(uint64(p.txn.retries))
 	b.stats.Completed++
-	b.log.Addf(now, "bus", "done  %s %s 0x%08x", b.masters[p.txn.Master].name, p.txn.Kind, p.txn.Addr)
+	if b.log.Enabled() {
+		b.log.Addf(now, "bus", "done  %s %s 0x%08x", b.masters[p.txn.Master].name, p.txn.Kind, p.txn.Addr)
+	}
 	// Emitted before the completion callbacks so a subscriber sees the
 	// master's queue state settle before any synchronous resubmission (e.g.
 	// an upgrade falling back to a fill).
@@ -740,6 +797,9 @@ func (b *Bus) complete(now uint64) {
 	if p.done != nil {
 		p.done(res)
 	}
+	// The completion callback and observers have returned; reclaim the fill
+	// buffer (Result.Data's validity window ends here).
+	b.fills.put(buf)
 }
 
 // Probe is a waveform-oriented snapshot of the bus state (package vcd).

@@ -181,7 +181,11 @@ func TestCacheToCacheSupply(t *testing.T) {
 	b.AddSnooper(m1, &fakeSnooper{reply: SnoopReply{Shared: true, Supply: true, Data: line}})
 	mem.WriteLine(0x100, make([]uint32, 8)) // memory holds zeros (stale)
 	var res Result
-	b.Submit(&Transaction{Master: m0, Kind: ReadLine, Addr: 0x100, Words: 8}, func(r Result) { res = r })
+	// Result.Data is only valid during the callback (pooled buffer): copy.
+	b.Submit(&Transaction{Master: m0, Kind: ReadLine, Addr: 0x100, Words: 8}, func(r Result) {
+		res = r
+		res.Data = append([]uint32(nil), r.Data...)
+	})
 	run(t, b, 100)
 	if !res.Supplied {
 		t.Fatal("supply not flagged")
@@ -316,9 +320,9 @@ func TestSubmitFlushOrdersAfterRetriedHead(t *testing.T) {
 	b.Submit(ordinary, nil)
 	flush := &Transaction{Master: m0, Kind: WriteLine, Addr: 0xc0, Data: make([]uint32, 8)}
 	b.SubmitFlush(flush, nil)
-	q := b.masters[m0].queue
-	if q[0].txn != retried || q[1].txn != flush || q[2].txn != ordinary {
-		t.Fatalf("queue order %v,%v,%v; want retried, flush, ordinary", q[0].txn.Addr, q[1].txn.Addr, q[2].txn.Addr)
+	q := &b.masters[m0].queue
+	if q.at(0).txn != retried || q.at(1).txn != flush || q.at(2).txn != ordinary {
+		t.Fatalf("queue order %v,%v,%v; want retried, flush, ordinary", q.at(0).txn.Addr, q.at(1).txn.Addr, q.at(2).txn.Addr)
 	}
 }
 
@@ -329,8 +333,8 @@ func TestSubmitFlushJumpsCleanQueue(t *testing.T) {
 	b.Submit(ordinary, nil)
 	flush := &Transaction{Master: m0, Kind: WriteLine, Addr: 0xc0, Data: make([]uint32, 8)}
 	b.SubmitFlush(flush, nil)
-	q := b.masters[m0].queue
-	if q[0].txn != flush {
+	q := &b.masters[m0].queue
+	if q.at(0).txn != flush {
 		t.Fatal("flush did not jump ahead of ordinary work")
 	}
 }
@@ -429,7 +433,10 @@ func TestPipelinedSameLineNotOverlapped(t *testing.T) {
 		b.Tick(now)
 	}
 	var got []uint32
-	b.Submit(&Transaction{Master: m1, Kind: ReadLine, Addr: 0x40, Words: 8}, func(r Result) { order = append(order, 1); got = r.Data })
+	b.Submit(&Transaction{Master: m1, Kind: ReadLine, Addr: 0x40, Words: 8}, func(r Result) {
+		order = append(order, 1)
+		got = append([]uint32(nil), r.Data...)
+	})
 	for ; now < 200 && !b.Idle(); now++ {
 		b.Tick(now)
 	}

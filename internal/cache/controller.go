@@ -72,11 +72,37 @@ type Controller struct {
 
 	busy bool // one outstanding CPU request
 
-	// pendingWB holds lines whose write-back is queued or in flight (evicted
-	// victims, software drains, snoop flushes already removed from the
-	// array).  A snoop hit on one of these must ARTRY until memory is
-	// written, or another master would read stale data.
-	pendingWB map[uint32][]uint32
+	// Reusable state of the single outstanding CPU request (guarded by
+	// busy): the bus transaction, its parameters, and prebound completion
+	// callbacks, so a steady-state miss/upgrade/uncached access allocates
+	// nothing.  The fields are written on issue and read back by the
+	// completion method the request was submitted with.
+	reqTxn    bus.Transaction
+	reqWrite  bool
+	reqAddr   uint32
+	reqVal    uint32
+	reqDone   func(uint32)
+	reqVictim *Line
+	reqStart  uint64
+	reqOp     coherence.BusOp
+	reqNext   coherence.State
+
+	fillDoneFn     func(bus.Result)
+	upgDoneFn      func(bus.Result)
+	uncachedDoneFn func(bus.Result)
+	wtWriteDoneFn  func(bus.Result)
+	wtReadDoneFn   func(bus.Result)
+
+	// wbFree is the free list of write-back jobs (see wbJob); write-backs
+	// can overlap each other and the CPU request, so they carry their own
+	// reusable transactions and buffers.
+	wbFree []*wbJob
+
+	// pendingWB holds line bases whose write-back is queued or in flight
+	// (evicted victims, software drains; snoop flushes are tracked on the
+	// line itself via flushPending).  A snoop hit on one of these must ARTRY
+	// until memory is written, or another master would read stale data.
+	pendingWB map[uint32]struct{}
 
 	// writeThrough, when non-nil, marks addresses whose lines are
 	// write-through (the Intel486 defines lines as write-back or
@@ -121,8 +147,13 @@ func NewController(name string, c *Cache, b *bus.Bus, policy Policy, snoops bool
 		policy:    policy,
 		log:       log,
 		snoops:    snoops,
-		pendingWB: make(map[uint32][]uint32),
+		pendingWB: make(map[uint32]struct{}),
 	}
+	ctl.fillDoneFn = ctl.fillDone
+	ctl.upgDoneFn = ctl.upgradeDone
+	ctl.uncachedDoneFn = ctl.uncachedDone
+	ctl.wtWriteDoneFn = ctl.wtWriteDone
+	ctl.wtReadDoneFn = ctl.wtReadDone
 	if snoops {
 		b.AddSnooper(ctl.masterID, ctl)
 	}
@@ -276,7 +307,8 @@ func (ctl *Controller) accessWriteThrough(write bool, addr, val uint32, done fun
 	l := ctl.cache.Lookup(addr)
 	if write {
 		ctl.busy = true
-		txn := &bus.Transaction{Master: ctl.masterID, Kind: bus.WriteWord, Addr: addr, Val: val, Words: 1}
+		ctl.reqDone = done
+		ctl.reqTxn = bus.Transaction{Master: ctl.masterID, Kind: bus.WriteWord, Addr: addr, Val: val, Words: 1}
 		if l != nil && !l.flushPending {
 			ctl.cache.stats.WriteHits++
 			l.Data[ctl.cache.WordIndex(addr)] = val
@@ -284,10 +316,7 @@ func (ctl *Controller) accessWriteThrough(write bool, addr, val uint32, done fun
 		} else {
 			ctl.cache.stats.WriteMisses++ // no write allocation
 		}
-		ctl.bus.Submit(txn, func(bus.Result) {
-			ctl.busy = false
-			done(0)
-		})
+		ctl.bus.Submit(&ctl.reqTxn, ctl.wtWriteDoneFn)
 		return Pending, 0
 	}
 	if l != nil && !l.flushPending {
@@ -309,16 +338,33 @@ func (ctl *Controller) accessWriteThrough(write bool, addr, val uint32, done fun
 	}
 	cfg := ctl.cache.Config()
 	ctl.busy = true
-	start := ctl.bus.Cycle()
-	txn := &bus.Transaction{Master: ctl.masterID, Kind: bus.ReadLine, Addr: cfg.LineAddr(addr), Words: cfg.WordsPerLine()}
-	ctl.bus.Submit(txn, func(res bus.Result) {
-		ctl.mMissLat.Observe(ctl.bus.Cycle() - start)
-		l := ctl.cache.Install(addr, res.Data, coherence.Shared, victim)
-		ctl.noteState(l.Base, coherence.Invalid, l.State)
-		ctl.busy = false
-		done(l.Data[ctl.cache.WordIndex(addr)])
-	})
+	ctl.reqStart = ctl.bus.Cycle()
+	ctl.reqAddr = addr
+	ctl.reqDone = done
+	ctl.reqVictim = victim
+	ctl.reqTxn = bus.Transaction{Master: ctl.masterID, Kind: bus.ReadLine, Addr: cfg.LineAddr(addr), Words: cfg.WordsPerLine()}
+	ctl.bus.Submit(&ctl.reqTxn, ctl.wtReadDoneFn)
 	return Pending, 0
+}
+
+// wtWriteDone completes a write-through store.
+func (ctl *Controller) wtWriteDone(bus.Result) {
+	done := ctl.reqDone
+	ctl.reqDone = nil
+	ctl.busy = false
+	done(0)
+}
+
+// wtReadDone completes a write-through read-miss fill (SI protocol: the line
+// allocates Shared).
+func (ctl *Controller) wtReadDone(res bus.Result) {
+	ctl.mMissLat.Observe(ctl.bus.Cycle() - ctl.reqStart)
+	addr, done, victim := ctl.reqAddr, ctl.reqDone, ctl.reqVictim
+	ctl.reqDone, ctl.reqVictim = nil, nil
+	l := ctl.cache.Install(addr, res.Data, coherence.Shared, victim)
+	ctl.noteState(l.Base, coherence.Invalid, l.State)
+	ctl.busy = false
+	done(l.Data[ctl.cache.WordIndex(addr)])
 }
 
 // writeWithBus completes a write hit that needs a bus operation: an
@@ -329,40 +375,47 @@ func (ctl *Controller) writeWithBus(op coherence.BusOp, next coherence.State, ad
 	ctl.upgradeBase = base
 	ctl.upgradeLive = true
 	ctl.upgradeLost = false
-	var txn *bus.Transaction
+	ctl.reqOp, ctl.reqNext = op, next
+	ctl.reqAddr, ctl.reqVal, ctl.reqDone = addr, val, done
 	switch op {
 	case coherence.BusUpgr:
 		ctl.cache.stats.Upgrades++
-		txn = &bus.Transaction{Master: ctl.masterID, Kind: bus.Upgrade, Addr: base, Words: ctl.cache.Config().WordsPerLine()}
+		ctl.reqTxn = bus.Transaction{Master: ctl.masterID, Kind: bus.Upgrade, Addr: base, Words: ctl.cache.Config().WordsPerLine()}
 	case coherence.BusUpd:
-		txn = &bus.Transaction{Master: ctl.masterID, Kind: bus.UpdateWord, Addr: addr, Val: val, Words: 1}
+		ctl.reqTxn = bus.Transaction{Master: ctl.masterID, Kind: bus.UpdateWord, Addr: addr, Val: val, Words: 1}
 	default:
 		panic(fmt.Sprintf("cache %s: write hit needs unsupported bus op %v", ctl.name, op))
 	}
-	ctl.bus.Submit(txn, func(res bus.Result) {
-		ctl.upgradeLive = false
-		if ctl.upgradeLost {
-			// The line was invalidated while the request was queued: fall
-			// back to a full write miss.
-			ctl.missFill(true, addr, val, done)
-			return
-		}
-		cur := ctl.cache.Lookup(addr)
-		if cur == nil {
-			ctl.missFill(true, addr, val, done)
-			return
-		}
-		if op == coherence.BusUpd {
-			// Dragon: stay owner if anybody still shares the line.
-			next = ctl.cache.Protocol().AfterUpdate(ctl.policy.OverrideShared(res.Shared))
-		}
-		ctl.noteState(cur.Base, cur.State, next)
-		cur.State = next
-		cur.Data[ctl.cache.WordIndex(addr)] = val
-		ctl.cache.Touch(cur)
-		ctl.busy = false
-		done(0)
-	})
+	ctl.bus.Submit(&ctl.reqTxn, ctl.upgDoneFn)
+}
+
+// upgradeDone completes a writeWithBus request (BusUpgr or BusUpd).
+func (ctl *Controller) upgradeDone(res bus.Result) {
+	op, next := ctl.reqOp, ctl.reqNext
+	addr, val, done := ctl.reqAddr, ctl.reqVal, ctl.reqDone
+	ctl.upgradeLive = false
+	if ctl.upgradeLost {
+		// The line was invalidated while the request was queued: fall
+		// back to a full write miss.
+		ctl.missFill(true, addr, val, done)
+		return
+	}
+	cur := ctl.cache.Lookup(addr)
+	if cur == nil {
+		ctl.missFill(true, addr, val, done)
+		return
+	}
+	if op == coherence.BusUpd {
+		// Dragon: stay owner if anybody still shares the line.
+		next = ctl.cache.Protocol().AfterUpdate(ctl.policy.OverrideShared(res.Shared))
+	}
+	ctl.noteState(cur.Base, cur.State, next)
+	cur.State = next
+	cur.Data[ctl.cache.WordIndex(addr)] = val
+	ctl.cache.Touch(cur)
+	ctl.reqDone = nil
+	ctl.busy = false
+	done(0)
 }
 
 // missFill evicts a victim if needed and issues the line fill.  Caller has
@@ -383,43 +436,54 @@ func (ctl *Controller) missFill(write bool, addr, val uint32, done func(uint32))
 		kind = bus.ReadLineOwn
 	}
 	base := cfg.LineAddr(addr)
-	start := ctl.bus.Cycle()
-	txn := &bus.Transaction{Master: ctl.masterID, Kind: kind, Addr: base, Words: cfg.WordsPerLine()}
-	ctl.bus.Submit(txn, func(res bus.Result) {
-		ctl.mMissLat.Observe(ctl.bus.Cycle() - start)
-		shared := ctl.policy.OverrideShared(res.Shared)
-		var st coherence.State
-		if write && !proto.UpdateBased() {
-			st = proto.FillStateAfterWrite()
-		} else {
-			st = proto.FillStateAfterRead(shared)
+	ctl.reqWrite, ctl.reqAddr, ctl.reqVal = write, addr, val
+	ctl.reqDone, ctl.reqVictim = done, victim
+	ctl.reqStart = ctl.bus.Cycle()
+	ctl.reqTxn = bus.Transaction{Master: ctl.masterID, Kind: kind, Addr: base, Words: cfg.WordsPerLine()}
+	ctl.bus.Submit(&ctl.reqTxn, ctl.fillDoneFn)
+}
+
+// fillDone completes a missFill request.
+func (ctl *Controller) fillDone(res bus.Result) {
+	ctl.mMissLat.Observe(ctl.bus.Cycle() - ctl.reqStart)
+	write, addr, val := ctl.reqWrite, ctl.reqAddr, ctl.reqVal
+	done, victim := ctl.reqDone, ctl.reqVictim
+	ctl.reqVictim = nil
+	proto := ctl.cache.Protocol()
+	shared := ctl.policy.OverrideShared(res.Shared)
+	var st coherence.State
+	if write && !proto.UpdateBased() {
+		st = proto.FillStateAfterWrite()
+	} else {
+		st = proto.FillStateAfterRead(shared)
+	}
+	l := ctl.cache.Install(addr, res.Data, st, victim)
+	ctl.noteState(l.Base, coherence.Invalid, l.State)
+	w := ctl.cache.WordIndex(addr)
+	if !write {
+		ctl.reqDone = nil
+		ctl.busy = false
+		done(l.Data[w])
+		return
+	}
+	if proto.UpdateBased() {
+		// Dragon write miss: fill, then write like a hit — silently
+		// when exclusive, by bus update when shared.
+		next, op, needsBus, err := proto.OnWriteHit(st)
+		if err != nil {
+			panic(fmt.Sprintf("cache %s: %v", ctl.name, err))
 		}
-		l := ctl.cache.Install(addr, res.Data, st, victim)
-		ctl.noteState(l.Base, coherence.Invalid, l.State)
-		w := ctl.cache.WordIndex(addr)
-		if !write {
-			ctl.busy = false
-			done(l.Data[w])
+		if needsBus {
+			ctl.writeWithBus(op, next, addr, val, done)
 			return
 		}
-		if proto.UpdateBased() {
-			// Dragon write miss: fill, then write like a hit — silently
-			// when exclusive, by bus update when shared.
-			next, op, needsBus, err := proto.OnWriteHit(st)
-			if err != nil {
-				panic(fmt.Sprintf("cache %s: %v", ctl.name, err))
-			}
-			if needsBus {
-				ctl.writeWithBus(op, next, addr, val, done)
-				return
-			}
-			ctl.noteState(l.Base, l.State, next)
-			l.State = next
-		}
-		l.Data[w] = val
-		ctl.busy = false
-		done(0)
-	})
+		ctl.noteState(l.Base, l.State, next)
+		l.State = next
+	}
+	l.Data[w] = val
+	ctl.reqDone = nil
+	ctl.busy = false
+	done(0)
 }
 
 // evict removes a (valid) line from the array, queueing a write-back if it
@@ -429,16 +493,14 @@ func (ctl *Controller) evict(l *Line) {
 	base := l.Base
 	if l.State.Dirty() {
 		ctl.cache.stats.EvictionWBs++
-		data := make([]uint32, len(l.Data))
-		copy(data, l.Data)
-		ctl.pendingWB[base] = data
-		start := ctl.bus.Cycle()
-		txn := &bus.Transaction{Master: ctl.masterID, Kind: bus.WriteLine, Addr: base, Data: data}
-		ctl.bus.Submit(txn, func(bus.Result) {
-			ctl.mDrainLat.Observe(ctl.bus.Cycle() - start)
-			delete(ctl.pendingWB, base)
-			ctl.events.Drain(ctl.masterID, base)
-		})
+		j := ctl.getWB()
+		j.kind = wbEvict
+		j.base = base
+		j.start = ctl.bus.Cycle()
+		j.setData(l.Data)
+		ctl.pendingWB[base] = struct{}{}
+		j.txn = bus.Transaction{Master: ctl.masterID, Kind: bus.WriteLine, Addr: base, Data: j.buf}
+		ctl.bus.Submit(&j.txn, j.doneFn)
 	}
 	if ctl.upgradeLive && base == ctl.upgradeBase {
 		ctl.upgradeLost = true
@@ -460,12 +522,18 @@ func (ctl *Controller) Uncached(kind bus.Kind, addr, val uint32, done func(uint3
 		panic(fmt.Sprintf("cache %s: uncached access with kind %v", ctl.name, kind))
 	}
 	ctl.busy = true
-	txn := &bus.Transaction{Master: ctl.masterID, Kind: kind, Addr: addr, Val: val, Words: 1}
-	ctl.bus.Submit(txn, func(res bus.Result) {
-		ctl.busy = false
-		done(res.Val)
-	})
+	ctl.reqDone = done
+	ctl.reqTxn = bus.Transaction{Master: ctl.masterID, Kind: kind, Addr: addr, Val: val, Words: 1}
+	ctl.bus.Submit(&ctl.reqTxn, ctl.uncachedDoneFn)
 	return Pending
+}
+
+// uncachedDone completes an Uncached word access.
+func (ctl *Controller) uncachedDone(res bus.Result) {
+	done := ctl.reqDone
+	ctl.reqDone = nil
+	ctl.busy = false
+	done(res.Val)
 }
 
 // Clean writes back (if dirty) and invalidates the line containing addr —
@@ -485,20 +553,16 @@ func (ctl *Controller) Clean(addr uint32, done func()) Status {
 		return Done
 	}
 	base := l.Base
-	data := make([]uint32, len(l.Data))
-	copy(data, l.Data)
-	ctl.pendingWB[base] = data
+	j := ctl.getWB()
+	j.kind = wbClean
+	j.base = base
+	j.userDone = done
+	j.start = ctl.bus.Cycle()
+	j.setData(l.Data)
+	ctl.pendingWB[base] = struct{}{}
 	ctl.invalidateLine(l)
-	start := ctl.bus.Cycle()
-	txn := &bus.Transaction{Master: ctl.masterID, Kind: bus.WriteLine, Addr: base, Data: data}
-	ctl.bus.Submit(txn, func(bus.Result) {
-		ctl.mDrainLat.Observe(ctl.bus.Cycle() - start)
-		delete(ctl.pendingWB, base)
-		ctl.events.Drain(ctl.masterID, base)
-		if done != nil {
-			done()
-		}
-	})
+	j.txn = bus.Transaction{Master: ctl.masterID, Kind: bus.WriteLine, Addr: base, Data: j.buf}
+	ctl.bus.Submit(&j.txn, j.doneFn)
 	return Pending
 }
 
@@ -561,25 +625,14 @@ func (ctl *Controller) SnoopBus(t *bus.Transaction) bus.SnoopReply {
 		ctl.cache.stats.SnoopFlushes++
 		l.flushPending = true
 		l.flushNext = out.Next
-		data := make([]uint32, len(l.Data))
-		copy(data, l.Data)
-		start := ctl.bus.Cycle()
-		txn := &bus.Transaction{Master: ctl.masterID, Kind: bus.WriteLine, Addr: l.Base, Data: data}
-		ctl.bus.SubmitFlush(txn, func(bus.Result) {
-			ctl.mDrainLat.Observe(ctl.bus.Cycle() - start)
-			l.flushPending = false
-			ctl.events.Drain(ctl.masterID, l.Base)
-			ctl.noteState(l.Base, l.State, l.flushNext)
-			l.State = l.flushNext
-			if l.State == coherence.Invalid {
-				if converted {
-					ctl.markRemoteInval(l.Base)
-				}
-				if ctl.upgradeLive && l.Base == ctl.upgradeBase {
-					ctl.upgradeLost = true
-				}
-			}
-		})
+		j := ctl.getWB()
+		j.kind = wbFlush
+		j.line = l
+		j.converted = converted
+		j.start = ctl.bus.Cycle()
+		j.setData(l.Data)
+		j.txn = bus.Transaction{Master: ctl.masterID, Kind: bus.WriteLine, Addr: l.Base, Data: j.buf}
+		ctl.bus.SubmitFlush(&j.txn, j.doneFn)
 		ctl.bus.PreferNext(ctl.masterID)
 		return bus.SnoopReply{Retry: true, Drain: true}
 	}
@@ -592,8 +645,9 @@ func (ctl *Controller) SnoopBus(t *bus.Transaction) bus.SnoopReply {
 	if out.Supply {
 		ctl.cache.stats.SnoopSupplies++
 		reply.Supply = true
-		reply.Data = make([]uint32, len(l.Data))
-		copy(reply.Data, l.Data)
+		// The bus copies the reply before this call returns (SnoopReply.Data
+		// contract), so the live line can be handed out without a copy.
+		reply.Data = l.Data
 	}
 	if out.Next == coherence.Invalid {
 		ctl.cache.stats.SnoopInvalidations++

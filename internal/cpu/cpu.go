@@ -127,14 +127,19 @@ type CPU struct {
 	delay   int
 	lastNow uint64
 
-	lockStep    lock.Stepper
-	lockPending *lock.MemOp
-	lockLast    uint32
-	releasing   bool
-	lockStart   uint64 // engine cycle the in-flight acquisition began
+	lockStep       lock.Stepper
+	lockPending    lock.MemOp
+	lockHasPending bool
+	lockLast       uint32
+	releasing      bool
+	lockStart      uint64 // engine cycle the in-flight acquisition began
 
-	locksHeld  int
+	locksHeld int
+	// fiqs[fiqHead:] is the pending-interrupt queue; entries are consumed by
+	// advancing fiqHead and the slice is rewound when it empties, so the
+	// backing array is reused instead of re-growing after every interrupt.
 	fiqs       []fiqEntry
+	fiqHead    int
 	isr        isrPhase
 	isrLine    uint32
 	isrFound   bool
@@ -154,6 +159,21 @@ type CPU struct {
 	// detects the stall→run edge so stall episodes are closed exactly once.
 	prof       *profile.Ledger
 	wasStalled bool
+
+	// Reusable completion state for the (single) outstanding memory
+	// operation, plus the prebound callbacks — the core is stalled until the
+	// callback fires, so per-access closure allocation would be pure
+	// steady-state garbage.
+	accWrite bool
+	accAddr  uint32
+	accVal   uint32
+	waitVal  uint32
+
+	accDoneFn      func(uint32)
+	waitEqDoneFn   func(uint32)
+	lockOpDoneFn   func(uint32)
+	cleanDoneFn    func()
+	isrCleanDoneFn func()
 }
 
 // New builds a core.  ctl is its cache controller (also the path for
@@ -163,7 +183,13 @@ func New(cfg Config, id int, ctl *cache.Controller, attr AttrFunc, locks *lock.M
 	if cfg.ClockDiv == 0 {
 		cfg.ClockDiv = 1
 	}
-	return &CPU{cfg: cfg, id: id, ctl: ctl, attr: attr, locks: locks, snoop: snoop}
+	c := &CPU{cfg: cfg, id: id, ctl: ctl, attr: attr, locks: locks, snoop: snoop}
+	c.accDoneFn = c.accessDone
+	c.waitEqDoneFn = c.waitEqDone
+	c.lockOpDoneFn = c.lockOpDone
+	c.cleanDoneFn = c.cleanDone
+	c.isrCleanDoneFn = c.isrCleanDone
+	return c
 }
 
 // SetHooks installs load/store observers.
@@ -244,7 +270,7 @@ func (c *CPU) RaiseFIQ(lineBase uint32) {
 func (c *CPU) Tick(now uint64) {
 	c.lastNow = now
 	// Stamp newly raised FIQs with their response horizon.
-	for i := range c.fiqs {
+	for i := c.fiqHead; i < len(c.fiqs); i++ {
 		if !c.fiqs[i].stamped {
 			c.fiqs[i].stamped = true
 			c.fiqs[i].readyAt = now + uint64(c.cfg.InterruptResponse)*c.cfg.ClockDiv
@@ -277,9 +303,13 @@ func (c *CPU) Tick(now uint64) {
 	// Take a ripe interrupt.  Plain computation (Delay) is interruptible;
 	// the remaining delay resumes after the ISR.  A halted core idles but
 	// keeps servicing interrupts.
-	if len(c.fiqs) > 0 && c.fiqs[0].stamped && now >= c.fiqs[0].readyAt {
-		f := c.fiqs[0]
-		c.fiqs = c.fiqs[1:]
+	if c.fiqHead < len(c.fiqs) && c.fiqs[c.fiqHead].stamped && now >= c.fiqs[c.fiqHead].readyAt {
+		f := c.fiqs[c.fiqHead]
+		c.fiqHead++
+		if c.fiqHead == len(c.fiqs) {
+			c.fiqs = c.fiqs[:0]
+			c.fiqHead = 0
+		}
 		c.enterISR(now, f.base)
 		return
 	}
@@ -325,11 +355,7 @@ func (c *CPU) stepISR(now uint64) {
 	switch c.isr {
 	case isrClean:
 		c.isrFound = c.ctl.Cache().Lookup(c.isrLine) != nil
-		status := c.ctl.Clean(c.isrLine, func() {
-			c.state = stateRun
-			c.isr = isrExit
-			c.delay = c.cfg.ISRExit
-		})
+		status := c.ctl.Clean(c.isrLine, c.isrCleanDoneFn)
 		switch status {
 		case cache.Done:
 			c.isr = isrExit
@@ -365,11 +391,7 @@ func (c *CPU) execute(now uint64, op isa.Op) {
 		c.memAccess(now, true, op.Addr, op.Val)
 	case isa.CleanLine:
 		c.stats.CleanOps++
-		status := c.ctl.Clean(op.Addr, func() {
-			c.state = stateRun
-			c.delay = c.cfg.CacheOpOverhead
-			c.retire()
-		})
+		status := c.ctl.Clean(op.Addr, c.cleanDoneFn)
 		switch status {
 		case cache.Done:
 			c.noteClean(op.Addr)
@@ -404,19 +426,12 @@ func (c *CPU) execute(now uint64, op isa.Op) {
 // waitEq polls addr until it reads val: the op retires only on a match,
 // otherwise the core backs off a few cycles and polls again.
 func (c *CPU) waitEq(now uint64, addr, val uint32) {
-	finish := func(rv uint32) {
-		c.state = stateRun
-		if rv == val {
-			c.retire()
-			return
-		}
-		c.delay = 4 + c.cfg.AccessOverhead // poll back-off; pc unchanged
-	}
+	c.waitVal = val
 	if c.attr(addr).Cacheable {
-		status, v := c.ctl.Access(false, addr, 0, finish)
+		status, v := c.ctl.Access(false, addr, 0, c.waitEqDoneFn)
 		switch status {
 		case cache.Done:
-			finish(v)
+			c.waitEqDone(v)
 		case cache.Pending:
 			c.state = stateStalled
 			c.prof.StallLock(c.id)
@@ -425,13 +440,24 @@ func (c *CPU) waitEq(now uint64, addr, val uint32) {
 		}
 		return
 	}
-	status := c.ctl.Uncached(bus.ReadWord, addr, 0, finish)
+	status := c.ctl.Uncached(bus.ReadWord, addr, 0, c.waitEqDoneFn)
 	if status == cache.Busy {
 		c.stats.BusyRetries++
 		return
 	}
 	c.state = stateStalled
 	c.prof.StallLock(c.id)
+}
+
+// waitEqDone resolves one WaitEq poll: retire on a match, otherwise back off
+// and poll again.
+func (c *CPU) waitEqDone(rv uint32) {
+	c.state = stateRun
+	if rv == c.waitVal {
+		c.retire()
+		return
+	}
+	c.delay = 4 + c.cfg.AccessOverhead // poll back-off; pc unchanged
 }
 
 // noteClean informs the core's snoop logic that a line left the cache
@@ -450,13 +476,9 @@ func (c *CPU) retire() {
 
 func (c *CPU) memAccess(now uint64, write bool, addr, val uint32) {
 	a := c.attr(addr)
+	c.accWrite, c.accAddr, c.accVal = write, addr, val
 	if a.Cacheable {
-		status, v := c.ctl.Access(write, addr, val, func(rv uint32) {
-			c.noteAccess(write, addr, val, rv, c.lastNow)
-			c.state = stateRun
-			c.delay = c.cfg.AccessOverhead
-			c.retire()
-		})
+		status, v := c.ctl.Access(write, addr, val, c.accDoneFn)
 		switch status {
 		case cache.Done:
 			c.noteAccess(write, addr, val, v, c.lastNow)
@@ -474,18 +496,36 @@ func (c *CPU) memAccess(now uint64, write bool, addr, val uint32) {
 	if write {
 		kind = bus.WriteWord
 	}
-	status := c.ctl.Uncached(kind, addr, val, func(rv uint32) {
-		c.noteAccess(write, addr, val, rv, c.lastNow)
-		c.state = stateRun
-		c.delay = c.cfg.AccessOverhead
-		c.retire()
-	})
+	status := c.ctl.Uncached(kind, addr, val, c.accDoneFn)
 	if status == cache.Busy {
 		c.stats.BusyRetries++
 		return
 	}
 	c.state = stateStalled
 	c.prof.StallAccess(c.id)
+}
+
+// accessDone retires the outstanding load/store once the memory system
+// answers.
+func (c *CPU) accessDone(rv uint32) {
+	c.noteAccess(c.accWrite, c.accAddr, c.accVal, rv, c.lastNow)
+	c.state = stateRun
+	c.delay = c.cfg.AccessOverhead
+	c.retire()
+}
+
+// cleanDone retires an explicit CleanLine op whose drain went to the bus.
+func (c *CPU) cleanDone() {
+	c.state = stateRun
+	c.delay = c.cfg.CacheOpOverhead
+	c.retire()
+}
+
+// isrCleanDone advances the ISR to its exit phase after the drain completes.
+func (c *CPU) isrCleanDone() {
+	c.state = stateRun
+	c.isr = isrExit
+	c.delay = c.cfg.ISRExit
 }
 
 func (c *CPU) noteAccess(write bool, addr, val, readVal uint32, now uint64) {
@@ -513,9 +553,9 @@ func (c *CPU) stepLock(now uint64, release bool, lockID int) {
 			c.lockStart = now
 		}
 		c.lockLast = 0
-		c.lockPending = nil
+		c.lockHasPending = false
 	}
-	if c.lockPending == nil {
+	if !c.lockHasPending {
 		op, done := c.lockStep.Step(c.lockLast)
 		if done {
 			if c.releasing {
@@ -532,18 +572,16 @@ func (c *CPU) stepLock(now uint64, release bool, lockID int) {
 			c.retire()
 			return
 		}
-		c.lockPending = &op
+		c.lockPending = op
+		c.lockHasPending = true
 	}
-	op := *c.lockPending
+	op := c.lockPending
 	c.stats.LockOps++
-	finish := func(v uint32) {
-		c.lockLast = v
-		c.lockPending = nil
-	}
 	switch op.Kind {
 	case lock.Spin:
 		c.delay = op.N
-		finish(0)
+		c.lockLast = 0
+		c.lockHasPending = false
 	case lock.ReadUncached, lock.WriteUncached, lock.RMWUncached:
 		var kind bus.Kind
 		switch op.Kind {
@@ -554,10 +592,7 @@ func (c *CPU) stepLock(now uint64, release bool, lockID int) {
 		default:
 			kind = bus.RMWWord
 		}
-		status := c.ctl.Uncached(kind, op.Addr, op.Val, func(v uint32) {
-			finish(v)
-			c.state = stateRun
-		})
+		status := c.ctl.Uncached(kind, op.Addr, op.Val, c.lockOpDoneFn)
 		if status == cache.Busy {
 			c.stats.BusyRetries++
 			c.stats.LockOps--
@@ -567,13 +602,11 @@ func (c *CPU) stepLock(now uint64, release bool, lockID int) {
 		c.prof.StallLock(c.id)
 	case lock.ReadCached, lock.WriteCached:
 		write := op.Kind == lock.WriteCached
-		status, v := c.ctl.Access(write, op.Addr, op.Val, func(rv uint32) {
-			finish(rv)
-			c.state = stateRun
-		})
+		status, v := c.ctl.Access(write, op.Addr, op.Val, c.lockOpDoneFn)
 		switch status {
 		case cache.Done:
-			finish(v)
+			c.lockLast = v
+			c.lockHasPending = false
 		case cache.Pending:
 			c.state = stateStalled
 			c.prof.StallLock(c.id)
@@ -584,4 +617,12 @@ func (c *CPU) stepLock(now uint64, release bool, lockID int) {
 	default:
 		panic(fmt.Sprintf("cpu %s: unknown lock op kind %d", c.cfg.Name, op.Kind))
 	}
+}
+
+// lockOpDone records the answer to the lock stepper's outstanding memory
+// operation; the next stepLock call feeds it back into the stepper.
+func (c *CPU) lockOpDone(v uint32) {
+	c.lockLast = v
+	c.lockHasPending = false
+	c.state = stateRun
 }

@@ -66,6 +66,12 @@ type Engine struct {
 	pending bool // a bus transaction is in flight
 	lineBuf []uint32
 
+	// txn plus the prebound callbacks are reused across the (single
+	// outstanding) line transfers so a long copy allocates nothing per line.
+	txn         bus.Transaction
+	readDoneFn  func(bus.Result)
+	writeDoneFn func(bus.Result)
+
 	// LinesCopied counts completed line transfers.
 	LinesCopied uint64
 	// Transfers counts completed full transfers.
@@ -77,13 +83,16 @@ var _ bus.Device = (*Engine)(nil)
 // New creates an engine with registers at base, transferring lineBytes per
 // bus transaction, mastering b.
 func New(base uint32, lineBytes int, b *bus.Bus) *Engine {
-	return &Engine{
+	e := &Engine{
 		base:      base,
 		lineBytes: lineBytes,
 		bus:       b,
 		master:    b.AddMaster("dma"),
 		lineBuf:   make([]uint32, lineBytes/4),
 	}
+	e.readDoneFn = e.readDone
+	e.writeDoneFn = e.writeDone
+	return e
 }
 
 // Base returns the register bank base address.
@@ -170,41 +179,46 @@ func (e *Engine) Tick(uint64) {
 	switch e.ph {
 	case reading:
 		e.pending = true
-		txn := &bus.Transaction{
+		e.txn = bus.Transaction{
 			Master: e.master,
 			Kind:   bus.ReadLine,
 			Addr:   e.src + e.offset,
 			Words:  e.lineBytes / 4,
 		}
-		e.bus.Submit(txn, func(res bus.Result) {
-			copy(e.lineBuf, res.Data)
-			e.pending = false
-			e.ph = writing
-		})
+		e.bus.Submit(&e.txn, e.readDoneFn)
 	case writing:
 		e.pending = true
-		data := make([]uint32, len(e.lineBuf))
-		copy(data, e.lineBuf)
-		txn := &bus.Transaction{
+		// The write consumes lineBuf directly: the bus samples Data during
+		// the address/data phase, and the next read cannot overwrite the
+		// buffer before this write completes (one transaction outstanding).
+		e.txn = bus.Transaction{
 			Master: e.master,
 			Kind:   bus.WriteLineInv,
 			Addr:   e.dst + e.offset,
 			Words:  e.lineBytes / 4,
-			Data:   data,
+			Data:   e.lineBuf,
 		}
-		e.bus.Submit(txn, func(bus.Result) {
-			e.pending = false
-			e.LinesCopied++
-			e.offset += uint32(e.lineBytes)
-			if e.offset >= e.length {
-				e.status = StatusDone
-				e.Transfers++
-				e.ph = idle
-			} else {
-				e.ph = reading
-			}
-		})
+		e.bus.Submit(&e.txn, e.writeDoneFn)
 	default:
 		panic(fmt.Sprintf("dma: busy in phase %d", e.ph))
+	}
+}
+
+func (e *Engine) readDone(res bus.Result) {
+	copy(e.lineBuf, res.Data) // fill buffers are pooled; snapshot before return
+	e.pending = false
+	e.ph = writing
+}
+
+func (e *Engine) writeDone(bus.Result) {
+	e.pending = false
+	e.LinesCopied++
+	e.offset += uint32(e.lineBytes)
+	if e.offset >= e.length {
+		e.status = StatusDone
+		e.Transfers++
+		e.ph = idle
+	} else {
+		e.ph = reading
 	}
 }

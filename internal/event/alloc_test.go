@@ -1,0 +1,44 @@
+package event
+
+import "testing"
+
+// The emit helpers sit on every coherence action, so both the disabled
+// (nil sink) and enabled paths must be allocation-free; `make allocs` and
+// the CI allocs job pin this.
+
+// TestAllocsEmitDisabled: a nil *Sink costs one branch and zero garbage —
+// the helpers must not build a Record before the nil check.
+func TestAllocsEmitDisabled(t *testing.T) {
+	var s *Sink
+	n := testing.AllocsPerRun(1000, func() {
+		s.BusRequest(1, 0, 0x40)
+		s.BusGrant(1, 0, 0x40, true)
+		s.Retry(1, 0, 0x40, 3, false)
+		s.Drain(1, 0x40)
+		s.BusComplete(1, 0, 0x40)
+	})
+	if n != 0 {
+		t.Fatalf("disabled-sink emits allocate %.1f/op, want 0", n)
+	}
+}
+
+// TestAllocsEmitEnabled: with subscribers attached, emission reuses the
+// sink's scratch record instead of escaping a fresh one per event.
+func TestAllocsEmitEnabled(t *testing.T) {
+	s := NewSink(nil)
+	var total uint64
+	s.Subscribe(func(r *Record) { total += uint64(r.Addr) })
+	emit := func() {
+		s.BusRequest(1, 0, 0x40)
+		s.BusGrant(1, 0, 0x40, true)
+		s.Retry(1, 0, 0x40, 3, true)
+		s.BusComplete(1, 0, 0x40)
+	}
+	emit() // warm-up
+	if n := testing.AllocsPerRun(1000, emit); n != 0 {
+		t.Fatalf("enabled-sink emits allocate %.1f/op, want 0", n)
+	}
+	if total == 0 {
+		t.Fatal("subscriber never ran")
+	}
+}

@@ -119,6 +119,14 @@ type Sink struct {
 	now    func() uint64
 	subs   []Handler
 	counts [kindCount]uint64
+	// scratch is the reusable record handed to subscribers: passing &r of a
+	// per-emit stack value made every enabled emission a heap allocation
+	// (the pointer escapes into the handler calls).  The sink is already
+	// heap-resident, so reusing one field keeps the enabled path
+	// allocation-free.  Handlers are synchronous consumers and must not
+	// emit re-entrantly (none do: the auditor, exporters and the profiler
+	// only read), and must copy the record if they retain it.
+	scratch Record
 }
 
 // NewSink creates a sink stamping records with the now clock (typically the
@@ -171,8 +179,9 @@ func (s *Sink) Total() uint64 {
 func (s *Sink) emit(r Record) {
 	r.Cycle = s.now()
 	s.counts[r.Kind]++
+	s.scratch = r
 	for i := range s.subs {
-		s.subs[i](&r)
+		s.subs[i](&s.scratch)
 	}
 }
 

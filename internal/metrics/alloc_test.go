@@ -1,0 +1,47 @@
+package metrics
+
+import "testing"
+
+// Instruments are incremented from the simulation hot loop, so recording
+// must be allocation-free in both the disabled (nil) and enabled cases;
+// `make allocs` and the CI allocs job pin this.
+
+// TestAllocsDisabledInstruments: a nil registry hands out nil instruments
+// whose record methods are single-branch no-ops.
+func TestAllocsDisabledInstruments(t *testing.T) {
+	var r *Registry
+	c := r.Counter("hits")
+	g := r.Gauge("depth")
+	h := r.Histogram("latency")
+	n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1.5)
+		h.Observe(17)
+	})
+	if n != 0 {
+		t.Fatalf("nil-instrument records allocate %.1f/op, want 0", n)
+	}
+}
+
+// TestAllocsEnabledInstruments: live instruments record into fixed-size
+// storage (uint64 fields, log2 bucket array) — no per-observation garbage.
+func TestAllocsEnabledInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	g := r.Gauge("depth")
+	h := r.Histogram("latency")
+	record := func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1.5)
+		h.Observe(17)
+	}
+	record() // warm-up
+	if n := testing.AllocsPerRun(1000, record); n != 0 {
+		t.Fatalf("live-instrument records allocate %.1f/op, want 0", n)
+	}
+	if c.Value() == 0 || h.Count() == 0 {
+		t.Fatal("instruments recorded nothing")
+	}
+}

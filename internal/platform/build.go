@@ -338,6 +338,10 @@ func Build(cfg Config) (*Platform, error) {
 		b.AddDevice(p.DMA)
 	}
 
+	// All masters and snoopers are registered: freeze the per-master snoop
+	// fan-out sets so broadcasts walk precomputed flat lists.
+	b.FinalizeTopology()
+
 	b.OnDeadlock(func() {
 		engine.Stop("hardware deadlock", bus.ErrHardwareDeadlock)
 	})

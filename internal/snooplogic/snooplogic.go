@@ -143,7 +143,9 @@ func (sl *SnoopLogic) SnoopBus(t *bus.Transaction) bus.SnoopReply {
 	sl.pending[base] = true
 	sl.hitCycle[base] = sl.bus.Cycle()
 	sl.retried[base] = t.Master
-	sl.log.Addf(0, sl.name, "snoop hit 0x%08x -> nFIQ", base)
+	if sl.log.Enabled() {
+		sl.log.Addf(0, sl.name, "snoop hit 0x%08x -> nFIQ", base)
+	}
 	if sl.fiq != nil {
 		sl.fiq.RaiseFIQ(base)
 	}
@@ -234,7 +236,9 @@ func (sl *SnoopLogic) Complete(lineBase uint32, wasResident bool) {
 	if !wasResident {
 		sl.stats.SpuriousHits++
 	}
-	sl.log.Addf(0, sl.name, "ISR complete 0x%08x (resident=%v)", base, wasResident)
+	if sl.log.Enabled() {
+		sl.log.Addf(0, sl.name, "ISR complete 0x%08x (resident=%v)", base, wasResident)
+	}
 }
 
 // PendingLines returns the lines with an outstanding ISR, sorted (tests).
