@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify allocs bench bench-diff gobench bench-metrics bench-audit fmt vet
+.PHONY: all build test race verify allocs bench bench-diff bench-trend gobench bench-metrics bench-audit fmt vet lint observe
 
 all: build
 
@@ -37,7 +37,7 @@ vet:
 # (bus tick, ARTRY storm, snoop broadcast, event emit, metrics records).
 # Any nonzero allocs/op in steady state fails.
 allocs:
-	$(GO) test -run TestAllocs -v ./internal/bus ./internal/event ./internal/metrics
+	$(GO) test -run TestAllocs -v ./internal/bus ./internal/event ./internal/metrics ./internal/span
 
 # Simulated-cycle benchmark suite (cmd/bench): 27 deterministic runs whose
 # cycle counts are machine-independent.  `make bench` refreshes BENCH_dev.json;
@@ -48,6 +48,11 @@ bench:
 
 bench-diff: bench
 	$(GO) run ./cmd/bench diff BENCH_seed.json BENCH_dev.json
+
+# Performance trajectory across every committed BENCH_*.json (seed first):
+# total cycles, per-solution totals, bus utilisation, go-bench ns/op+allocs.
+bench-trend:
+	$(GO) run ./cmd/bench trend
 
 # Wall-clock Go microbenchmarks (ns/op, allocations).
 gobench:
@@ -61,3 +66,18 @@ bench-metrics:
 
 bench-audit:
 	$(GO) test -run xxx -bench 'Benchmark(EventsDisabled|AuditEnabled)' -benchmem -count 5 .
+
+# Static analysis beyond go vet.  Runs staticcheck when it is on PATH and
+# is a no-op otherwise, so the target works in minimal containers; CI
+# installs the pinned version and always runs it.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# One-stop observability bundle: report + events + audit + chrome trace +
+# stall profile + span JSONL + critical-path explanation in ./observe/.
+observe:
+	$(GO) run ./cmd/hetccsim -scenario wcs -solution proposed -observe observe -explain

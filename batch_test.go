@@ -18,9 +18,9 @@ import (
 var updateGoldens = flag.Bool("update", false, "rewrite the golden batch-digest file")
 
 // determinismBatch is a representative run matrix: every case-study platform
-// × scenario × solution, with verification, auditing and profiling on so the
-// reports carry the full schema-v3 payload (stats, violations, audit
-// summary, stall-cause profile).
+// × scenario × solution, with verification, auditing, profiling and span
+// collection on so the reports carry the full schema-v4 payload (stats,
+// violations, audit summary, stall-cause profile, critical path).
 func determinismBatch(t *testing.T) []hetcc.BatchSpec {
 	t.Helper()
 	presets := []struct {
@@ -45,6 +45,7 @@ func determinismBatch(t *testing.T) []hetcc.BatchSpec {
 						Verify:     true,
 						Audit:      true,
 						Profile:    true,
+						Spans:      true,
 						MaxCycles:  5_000_000,
 					},
 				})
@@ -171,8 +172,9 @@ func TestBatchErrorHandling(t *testing.T) {
 }
 
 // TestBatchGoldenDigests pins the jobs=1 report digests of the full
-// 27-combination matrix (platform × scenario × solution, schema-v3 reports
-// with audit and profile sections) against a committed golden file.  This is
+// 27-combination matrix (platform × scenario × solution, schema-v4 reports
+// with audit, profile and critical-path sections) against a committed golden
+// file.  This is
 // the differential gate for behavior-preserving optimizations: a hot-loop
 // change that alters even one simulated cycle, stat counter or profile span
 // shifts a digest and fails here.  Regenerate with `go test -run
@@ -201,7 +203,7 @@ func TestBatchGoldenDigests(t *testing.T) {
 	for _, r := range results {
 		cur.Runs[r.Label] = r.Digest
 	}
-	path := filepath.Join("testdata", "batch_digests_v3.json")
+	path := filepath.Join("testdata", "batch_digests_v4.json")
 	if *updateGoldens {
 		raw, err := json.MarshalIndent(cur, "", "  ")
 		if err != nil {

@@ -10,12 +10,18 @@
 //	bench -o BENCH_$(git rev-parse --short HEAD).json
 //	bench diff BENCH_seed.json BENCH_new.json            # exit 1 on regression
 //	bench -gobench 'BenchmarkMetrics' -o BENCH_dev.json  # add wall-clock ns/op
+//	bench trend                                          # trajectory across BENCH_*.json
 //
 // `bench diff` compares two such files run by run: cycle-count increases
 // beyond -threshold (default 10%) fail the diff, decreases are reported as
 // improvements, and a run missing from the new file always fails.  Wall-clock
 // go-bench numbers are carried for context only — they are excluded from the
 // digest and never gate the diff.
+//
+// `bench trend` reads every committed BENCH_*.json (seed first, then sorted
+// by filename) and prints the trajectory of total cycles, per-solution cycle
+// totals, bus utilisation and recorded go-bench ns/op / allocs/op across
+// revisions — the history of the repo's performance work at a glance.
 package main
 
 import (
@@ -26,7 +32,9 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -82,11 +90,19 @@ type Run struct {
 type GoBench struct {
 	Name string  `json:"name"`
 	NsOp float64 `json:"ns_op"`
+	// AllocsOp is the -benchmem allocations per op; nil in files written
+	// before the field existed.
+	AllocsOp *uint64 `json:"allocs_op,omitempty"`
 }
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "diff" {
-		os.Exit(runDiff(os.Args[2:]))
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "diff":
+			os.Exit(runDiff(os.Args[2:]))
+		case "trend":
+			os.Exit(runTrend(os.Args[2:]))
+		}
 	}
 	os.Exit(runBench(os.Args[1:]))
 }
@@ -271,6 +287,120 @@ func runDiff(argv []string) int {
 	return 0
 }
 
+// runTrend prints the performance trajectory across every committed bench
+// file: total cycles (with deltas), per-solution cycle totals, mean bus
+// utilisation, and any recorded go-bench wall-clock/allocation numbers.
+func runTrend(argv []string) int {
+	fs := flag.NewFlagSet("bench trend", flag.ExitOnError)
+	dir := fs.String("dir", ".", "directory holding BENCH_*.json files")
+	fs.Parse(argv)
+
+	paths, err := filepath.Glob(filepath.Join(*dir, "BENCH_*.json"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench trend: %v\n", err)
+		return 2
+	}
+	if len(paths) == 0 {
+		fmt.Fprintf(os.Stderr, "bench trend: no BENCH_*.json files in %s\n", *dir)
+		return 2
+	}
+	// The seed file is the fixed origin of the trajectory; everything else
+	// follows in filename order.
+	sort.Slice(paths, func(i, j int) bool {
+		si := filepath.Base(paths[i]) == "BENCH_seed.json"
+		sj := filepath.Base(paths[j]) == "BENCH_seed.json"
+		if si != sj {
+			return si
+		}
+		return paths[i] < paths[j]
+	})
+
+	type point struct {
+		path string
+		file File
+	}
+	var points []point
+	for _, p := range paths {
+		f, err := readFile(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench trend: %v\n", err)
+			return 2
+		}
+		points = append(points, point{p, f})
+	}
+
+	solutions := []string{"cache-disabled", "software", "proposed"}
+	fmt.Printf("%-10s %5s %14s %9s %7s", "rev", "runs", "total cycles", "Δ prev", "util")
+	for _, s := range solutions {
+		fmt.Printf(" %12s", s)
+	}
+	fmt.Println()
+	var prevTotal uint64
+	for i, pt := range points {
+		var total uint64
+		var util float64
+		bySol := map[string]uint64{}
+		for _, r := range pt.file.Runs {
+			total += r.Cycles
+			util += r.BusUtilization
+			bySol[r.Solution] += r.Cycles
+		}
+		if n := len(pt.file.Runs); n > 0 {
+			util /= float64(n)
+		}
+		delta := "-"
+		if i > 0 && prevTotal > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (float64(total)/float64(prevTotal)-1)*100)
+		}
+		fmt.Printf("%-10s %5d %14d %9s %6.1f%%", pt.file.Rev, len(pt.file.Runs), total, delta, util*100)
+		for _, s := range solutions {
+			fmt.Printf(" %12d", bySol[s])
+		}
+		fmt.Println()
+		prevTotal = total
+	}
+
+	// Go-bench trajectory: one row per benchmark seen anywhere, one column
+	// per revision that recorded it.
+	seen := map[string]bool{}
+	var names []string
+	for _, pt := range points {
+		for _, gb := range pt.file.GoBench {
+			if !seen[gb.Name] {
+				seen[gb.Name] = true
+				names = append(names, gb.Name)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return 0
+	}
+	sort.Strings(names)
+	fmt.Printf("\n%-36s", "go-bench (ns/op [allocs/op])")
+	for _, pt := range points {
+		fmt.Printf(" %16s", pt.file.Rev)
+	}
+	fmt.Println()
+	for _, name := range names {
+		fmt.Printf("%-36s", strings.TrimPrefix(name, "Benchmark"))
+		for _, pt := range points {
+			cell := "-"
+			for _, gb := range pt.file.GoBench {
+				if gb.Name == name {
+					cell = fmt.Sprintf("%.1f", gb.NsOp)
+					if gb.AllocsOp != nil {
+						cell += fmt.Sprintf(" [%d]", *gb.AllocsOp)
+					}
+					break
+				}
+			}
+			fmt.Printf(" %16s", cell)
+		}
+		fmt.Println()
+	}
+	return 0
+}
+
 // digest hashes the canonical JSON of the deterministic fields (params and
 // runs — not rev, not go_bench wall clocks).
 func digest(f File) (string, error) {
@@ -332,9 +462,9 @@ func gitRev() string {
 	return strings.TrimSpace(string(out))
 }
 
-// benchLine matches `go test -bench` result rows, e.g.
-// "BenchmarkMetricsDisabled-8   1234   987.6 ns/op   0 B/op".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+// benchLine matches `go test -bench -benchmem` result rows, e.g.
+// "BenchmarkMetricsDisabled-8   1234   987.6 ns/op   0 B/op   0 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9]+ B/op\s+([0-9]+) allocs/op)?`)
 
 func runGoBench(pattern string) ([]GoBench, error) {
 	cmd := exec.Command("go", "test", "-run", "xxx", "-bench", pattern, "-benchmem", "./...")
@@ -353,7 +483,13 @@ func runGoBench(pattern string) ([]GoBench, error) {
 		if err != nil {
 			continue
 		}
-		results = append(results, GoBench{Name: m[1], NsOp: ns})
+		gb := GoBench{Name: m[1], NsOp: ns}
+		if m[3] != "" {
+			if allocs, err := strconv.ParseUint(m[3], 10, 64); err == nil {
+				gb.AllocsOp = &allocs
+			}
+		}
+		results = append(results, gb)
 	}
 	return results, nil
 }

@@ -17,11 +17,13 @@ import (
 	"strings"
 
 	"hetcc"
+	"hetcc/internal/bus"
 	"hetcc/internal/chrometrace"
 	"hetcc/internal/isa"
 	"hetcc/internal/memory"
 	"hetcc/internal/platform"
 	"hetcc/internal/profile"
+	"hetcc/internal/span"
 	"hetcc/internal/stats"
 )
 
@@ -48,6 +50,9 @@ func main() {
 		reportPath   = flag.String("report", "", "write a machine-readable JSON run report to this file")
 		chromePath   = flag.String("chrometrace", "", "write a Chrome trace-event dump (load in Perfetto / chrome://tracing) to this file")
 		profilePath  = flag.String("profile", "", "write a folded-stack stall-cause profile (flamegraph.pl / speedscope input) to this file")
+		spansPath    = flag.String("spans", "", "write the causal transaction spans (lifecycle + retry/drain edges + stall links) as JSONL to this file")
+		explainFlag  = flag.Bool("explain", false, "print the critical-path analysis: top-K blocking transactions and the per-cause cycle attribution of the last-retiring core")
+		observeDir   = flag.String("observe", "", "write every observability artifact (report, events, audit, stall profile, chrome trace, spans) into this directory; equivalent to setting -report/-events/-audit/-profile/-chrometrace/-spans together")
 		metricsWin   = flag.Uint64("metricswindow", 0, "time-series sampling window in engine cycles (0 = default)")
 		maxCycles    = flag.Uint64("maxcycles", 50_000_000, "cycle budget")
 	)
@@ -105,12 +110,31 @@ func main() {
 	if *penalty != 13 {
 		cfg.Timing = memory.ScaledTiming(*penalty)
 	}
+	if *observeDir != "" {
+		// One flag, every artifact: fill in each path not set explicitly
+		// and enable the auditor.
+		fatalIf(os.MkdirAll(*observeDir, 0o755))
+		setDefault := func(p *string, name string) {
+			if *p == "" {
+				*p = *observeDir + string(os.PathSeparator) + name
+			}
+		}
+		setDefault(reportPath, "report.json")
+		setDefault(eventsPath, "events.jsonl")
+		setDefault(chromePath, "trace.json")
+		setDefault(profilePath, "profile.folded")
+		setDefault(spansPath, "spans.jsonl")
+		*auditFlag = true
+	}
 	if *reportPath != "" || *chromePath != "" {
 		cfg.Metrics = true
 		cfg.MetricsWindow = *metricsWin
 	}
-	if *reportPath != "" || *chromePath != "" || *profilePath != "" {
+	if *reportPath != "" || *chromePath != "" || *profilePath != "" || *spansPath != "" || *explainFlag {
 		cfg.Profile = true
+	}
+	if *reportPath != "" || *chromePath != "" || *spansPath != "" || *explainFlag {
+		cfg.Spans = true
 	}
 	if *chromePath != "" && cfg.TraceCap == 0 {
 		// The Chrome trace wants the event log as instant markers; retain a
@@ -285,23 +309,32 @@ func main() {
 		fatalIf(f.Close())
 		fmt.Printf("folded stall profile written to %s (flamegraph.pl %s > stalls.svg)\n", *profilePath, *profilePath)
 	}
+	if *spansPath != "" {
+		f, err := os.Create(*spansPath)
+		fatalIf(err)
+		w := bufio.NewWriter(f)
+		fatalIf(p.Spans().WriteJSONL(w, busKindName))
+		fatalIf(w.Flush())
+		fatalIf(f.Close())
+		fmt.Printf("transaction spans written to %s (%d transactions, %d dropped)\n",
+			*spansPath, len(p.Spans().Txns()), p.Spans().Dropped())
+	}
 	if *chromePath != "" {
-		events := chrometrace.FromTenures(res.Tenures, func(m int) string {
-			if m >= 0 && m < len(p.CPUs) {
-				return p.CPUs[m].Name()
-			}
-			return fmt.Sprintf("master%d", m)
-		})
+		events := chrometrace.FromTenures(res.Tenures, p.MasterName)
 		events = append(events, chrometrace.FromLog(p.Log)...)
 		events = append(events, chrometrace.FromStallSpans(res.StallSpans, coreName(p))...)
 		if res.Audit != nil {
 			events = append(events, chrometrace.FromViolations(res.Audit.Violations)...)
 		}
+		events = append(events, chrometrace.FromSpanEdges(p.Spans().Edges())...)
 		f, err := os.Create(*chromePath)
 		fatalIf(err)
 		fatalIf(chrometrace.Write(f, events))
 		fatalIf(f.Close())
 		fmt.Printf("chrome trace written to %s (open in Perfetto or chrome://tracing)\n", *chromePath)
+	}
+	if *explainFlag {
+		printExplain(res.CriticalPath)
 	}
 
 	if res.Err != nil {
@@ -391,6 +424,39 @@ func parseLock(s string) (platform.LockKind, error) {
 		return platform.LockPeterson, nil
 	default:
 		return 0, fmt.Errorf("unknown lock %q", s)
+	}
+}
+
+// busKindName names raw bus transaction kinds in the spans export.
+func busKindName(k uint8) string { return bus.Kind(k).String() }
+
+// printExplain renders the critical-path analysis: where every cycle of the
+// last-retiring core went, and the transactions it spent the longest blocked
+// on.
+func printExplain(cp *span.CriticalPath) {
+	if cp == nil {
+		fmt.Println("\ncritical path: no span data collected")
+		return
+	}
+	fmt.Printf("\ncritical path: core %d (%s), %d engine cycles\n", cp.Core, cp.CoreName, cp.TotalCycles)
+	if cp.CrossCheckError != "" {
+		fmt.Printf("WARNING: profile-ledger cross-check failed: %s\n", cp.CrossCheckError)
+	} else {
+		fmt.Printf("cross-check: attribution sums to the run total and every cause is within the profile ledger's bound\n")
+	}
+	attrT := stats.NewTable("Cycle attribution", "component", "cause", "cycles", "share")
+	for _, a := range cp.Attribution {
+		attrT.AddRow(a.Component, a.Cause, a.Cycles,
+			fmt.Sprintf("%.1f%%", float64(a.Cycles)/float64(cp.TotalCycles)*100))
+	}
+	attrT.Render(os.Stdout)
+	if len(cp.TopTransactions) > 0 {
+		fmt.Println()
+		txnT := stats.NewTable("Top blocking transactions", "txn", "component", "op", "addr", "submit", "complete", "retries", "blocked")
+		for _, t := range cp.TopTransactions {
+			txnT.AddRow(t.Txn, t.Component, t.Op, t.Addr, t.Submit, t.Complete, t.Retries, t.Cycles)
+		}
+		txnT.Render(os.Stdout)
 	}
 }
 

@@ -101,6 +101,10 @@ type Config struct {
 	// summary lands in Result.Profile and the per-core stall timeline in
 	// Result.StallSpans.
 	Profile bool
+	// Spans enables the causal transaction-span collector; the run's
+	// critical-path attribution lands in Result.CriticalPath (pair with
+	// Profile for stall links and the ledger cross-check).
+	Spans bool
 	// MaxCycles bounds the run (default 50M engine cycles).
 	MaxCycles uint64
 }
@@ -147,6 +151,7 @@ func Build(cfg Config) (*platform.Platform, error) {
 		Audit:           cfg.Audit,
 		EventLog:        cfg.EventLog,
 		Profile:         cfg.Profile,
+		Spans:           cfg.Spans,
 	})
 	if err != nil {
 		return nil, err

@@ -127,10 +127,19 @@ type Transaction struct {
 	// submitCycle is the bus cycle at which the transaction entered its
 	// master's queue (grant-wait metric).
 	submitCycle uint64
+	// id is the bus-assigned monotonically increasing transaction id,
+	// stamped at Submit/SubmitFlush.  Masters reuse Transaction structs, so
+	// each resubmission of the same struct is a new logical transaction with
+	// a fresh id.
+	id uint64
 }
 
 // Retries reports how many times the transaction has been ARTRYed.
 func (t *Transaction) Retries() int { return t.retries }
+
+// ID returns the transaction's bus-assigned id (monotonically increasing
+// from 1 in submission order; 0 before the first submit).
+func (t *Transaction) ID() uint64 { return t.id }
 
 // Result is delivered to the master on transaction completion.
 type Result struct {
@@ -299,6 +308,10 @@ type Bus struct {
 	cycle uint64 // bus cycles elapsed
 	next  *prepared
 
+	// txnSeq is the monotonically increasing transaction id counter; the
+	// first submitted transaction gets id 1.
+	txnSeq uint64
+
 	// tenure-span observability (engine-cycle timestamps)
 	curStart   uint64
 	curRetries int
@@ -447,7 +460,9 @@ func (b *Bus) Submit(t *Transaction, done func(Result)) {
 		panic(fmt.Sprintf("bus: submit from unknown master %d", t.Master))
 	}
 	t.submitCycle = b.cycle
-	b.events.BusRequest(t.Master, uint8(t.Kind), t.Addr)
+	b.txnSeq++
+	t.id = b.txnSeq
+	b.events.BusRequest(t.Master, uint8(t.Kind), t.Addr, t.id)
 	b.masters[t.Master].queue.pushBack(pending{txn: t, done: done})
 }
 
@@ -459,7 +474,9 @@ func (b *Bus) Submit(t *Transaction, done func(Result)) {
 func (b *Bus) SubmitFlush(t *Transaction, done func(Result)) {
 	m := b.masters[t.Master]
 	t.submitCycle = b.cycle
-	b.events.BusRequest(t.Master, uint8(t.Kind), t.Addr)
+	b.txnSeq++
+	t.id = b.txnSeq
+	b.events.BusRequest(t.Master, uint8(t.Kind), t.Addr, t.id)
 	idx := 0
 	for idx < m.queue.len() && m.queue.at(idx).txn.retries > 0 {
 		idx++
@@ -649,7 +666,7 @@ func (b *Bus) prepare(now uint64, id int) prepared {
 			b.log.Addf(now, "bus", "ARTRY %s %s 0x%08x (retry %d)", m.name, t.Kind, t.Addr, t.retries)
 		}
 		b.curAbort = true
-		b.events.Retry(t.Master, uint8(t.Kind), t.Addr, t.retries, drain)
+		b.events.Retry(t.Master, uint8(t.Kind), t.Addr, t.retries, drain, t.id)
 		m.queue.pushFront(p)
 		m.holdUntil = b.cycle + uint64(b.cfg.RetryBackoff)
 		// Two livelock signatures: nothing at all completing (the paper's
@@ -670,7 +687,7 @@ func (b *Bus) prepare(now uint64, id int) prepared {
 	}
 	b.consecutiveAborts = 0
 	b.mGrantWait.Observe(b.cycle - t.submitCycle)
-	b.events.BusGrant(t.Master, uint8(t.Kind), t.Addr, shared)
+	b.events.BusGrant(t.Master, uint8(t.Kind), t.Addr, shared, t.id)
 
 	// Data phase.
 	res := Result{Shared: shared}
@@ -790,7 +807,7 @@ func (b *Bus) complete(now uint64) {
 	// Emitted before the completion callbacks so a subscriber sees the
 	// master's queue state settle before any synchronous resubmission (e.g.
 	// an upgrade falling back to a fill).
-	b.events.BusComplete(p.txn.Master, uint8(p.txn.Kind), p.txn.Addr)
+	b.events.BusComplete(p.txn.Master, uint8(p.txn.Kind), p.txn.Addr, p.txn.id)
 	for _, o := range b.obs {
 		o(p.txn, res)
 	}

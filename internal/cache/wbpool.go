@@ -72,17 +72,17 @@ func (j *wbJob) done(bus.Result) {
 	switch j.kind {
 	case wbEvict:
 		delete(ctl.pendingWB, j.base)
-		ctl.events.Drain(ctl.masterID, j.base)
+		ctl.events.Drain(ctl.masterID, j.base, j.txn.ID())
 	case wbClean:
 		delete(ctl.pendingWB, j.base)
-		ctl.events.Drain(ctl.masterID, j.base)
+		ctl.events.Drain(ctl.masterID, j.base, j.txn.ID())
 		if j.userDone != nil {
 			j.userDone()
 		}
 	case wbFlush:
 		l := j.line
 		l.flushPending = false
-		ctl.events.Drain(ctl.masterID, l.Base)
+		ctl.events.Drain(ctl.masterID, l.Base, j.txn.ID())
 		ctl.noteState(l.Base, l.State, l.flushNext)
 		l.State = l.flushNext
 		if l.State == coherence.Invalid {

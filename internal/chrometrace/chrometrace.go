@@ -23,6 +23,7 @@ import (
 	"hetcc/internal/audit"
 	"hetcc/internal/bus"
 	"hetcc/internal/profile"
+	"hetcc/internal/span"
 	"hetcc/internal/trace"
 )
 
@@ -41,6 +42,12 @@ type Event struct {
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	Args map[string]any `json:"args,omitempty"`
+	// Cat and ID pair flow events ("ph":"s"/"f"): the viewer draws an arrow
+	// between the start and finish carrying the same category and id.  BP
+	// ("bp":"e") makes the finish bind to its enclosing slice.
+	Cat string `json:"cat,omitempty"`
+	ID  string `json:"id,omitempty"`
+	BP  string `json:"bp,omitempty"`
 }
 
 // Process ids used in the export.
@@ -207,6 +214,45 @@ func FromViolations(vs []audit.Violation) []Event {
 				"detail": v.Detail,
 			},
 		})
+	}
+	return events
+}
+
+// FromSpanEdges converts the span collector's causal edges into flow events
+// (ph "s"/"f" pairs), drawn as arrows by the viewer:
+//
+//   - retry→drain: from the ARTRY on the retried master's bus lane to the
+//     draining write-back's completion on its master's lane — the cause of
+//     every drain-induced retry becomes a visible arrow;
+//   - complete→resume: from a transaction's completion on the bus lane to
+//     the blocked core's resume point on its stall lane.
+//
+// The events target the FromTenures (PidBus) and FromStallSpans
+// (PidProfile) lanes, so include those when exporting edges.
+func FromSpanEdges(edges []span.Edge) []Event {
+	var events []Event
+	for i, e := range edges {
+		id := fmt.Sprintf("%s-%d", e.Kind.String(), i)
+		start := Event{
+			Name: e.Kind.String(), Ph: "s", Ts: usAt(e.From),
+			Pid: PidBus, Tid: e.FromMaster, Cat: e.Kind.String(), ID: id,
+			Args: map[string]any{"txn": e.Txn},
+		}
+		finish := Event{
+			Name: e.Kind.String(), Ph: "f", Ts: usAt(e.To),
+			Pid: PidBus, Cat: e.Kind.String(), ID: id, BP: "e",
+			Args: map[string]any{"txn": e.Txn},
+		}
+		switch e.Kind {
+		case span.EdgeRetryDrain:
+			start.Args["cause"] = e.Cause
+			finish.Tid = e.ToMaster
+			finish.Args["cause"] = e.Cause
+		case span.EdgeCompleteResume:
+			finish.Pid = PidProfile
+			finish.Tid = e.Core
+		}
+		events = append(events, start, finish)
 	}
 	return events
 }

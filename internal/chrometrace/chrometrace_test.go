@@ -3,14 +3,20 @@ package chrometrace
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"hetcc/internal/audit"
 	"hetcc/internal/bus"
 	"hetcc/internal/profile"
+	"hetcc/internal/span"
 	"hetcc/internal/trace"
 )
+
+var update = flag.Bool("update", false, "rewrite the golden trace file")
 
 // requireKeys asserts every encoded event carries the five keys the trace-
 // event format requires.
@@ -187,5 +193,92 @@ func TestFromViolations(t *testing.T) {
 	}
 	if FromViolations(nil) != nil {
 		t.Fatal("no violations should export nothing")
+	}
+}
+
+// TestFromSpanEdges checks flow-event pairing: every edge yields a matched
+// "s"/"f" pair with the same cat+id, the finish binds to its enclosing slice
+// ("bp":"e"), and the two edge kinds land on the right lanes.
+func TestFromSpanEdges(t *testing.T) {
+	edges := []span.Edge{
+		{Kind: span.EdgeRetryDrain, From: 140, To: 300, FromMaster: 1, ToMaster: 0, Txn: 3, Cause: 2},
+		{Kind: span.EdgeCompleteResume, From: 320, To: 320, FromMaster: 0, Core: 1, Txn: 4},
+	}
+	events := FromSpanEdges(edges)
+	requireKeys(t, events)
+	if len(events) != 4 {
+		t.Fatalf("%d events, want 2 start/finish pairs", len(events))
+	}
+	for i := 0; i < len(events); i += 2 {
+		s, f := events[i], events[i+1]
+		if s.Ph != "s" || f.Ph != "f" {
+			t.Fatalf("pair %d phases %q/%q, want s/f", i/2, s.Ph, f.Ph)
+		}
+		if s.ID == "" || s.ID != f.ID || s.Cat != f.Cat {
+			t.Fatalf("pair %d not linked: id %q/%q cat %q/%q", i/2, s.ID, f.ID, s.Cat, f.Cat)
+		}
+		if f.BP != "e" {
+			t.Fatalf("pair %d finish bp %q, want e", i/2, f.BP)
+		}
+	}
+	rd := events[1]
+	if rd.Pid != PidBus || rd.Tid != 0 || rd.Args["cause"] != uint64(2) {
+		t.Fatalf("retry-drain finish %+v, want draining master's bus lane with cause", rd)
+	}
+	cr := events[3]
+	if cr.Pid != PidProfile || cr.Tid != 1 {
+		t.Fatalf("complete-resume finish %+v, want resuming core's stall lane", cr)
+	}
+	if FromSpanEdges(nil) != nil {
+		t.Fatal("no edges should export nothing")
+	}
+}
+
+// TestWriteGolden pins the complete Write output — bus tenures, stall lanes,
+// violation markers and causal flow arrows in one trace — against a committed
+// golden file, so the exported JSON shape (key order, indentation, lane
+// assignments) cannot drift silently.  Refresh with:
+// go test ./internal/chrometrace -run TestWriteGolden -update
+func TestWriteGolden(t *testing.T) {
+	masterName := func(m int) string { return map[int]string{0: "ppc", 1: "arm"}[m] }
+	var events []Event
+	events = append(events, FromTenures([]bus.Tenure{
+		{Master: 0, Kind: bus.ReadLine, Addr: 0x2000_0000, Start: 100, End: 130},
+		{Master: 1, Kind: bus.RMWWord, Addr: 0x2000_0040, Start: 130, End: 140, Aborted: true, Retries: 1},
+		{Master: 0, Kind: bus.WriteLine, Addr: 0x2000_0040, Start: 160, End: 300},
+		{Master: 1, Kind: bus.RMWWord, Addr: 0x2000_0040, Start: 300, End: 320},
+	}, masterName)...)
+	events = append(events, FromStallSpans([]profile.Span{
+		{Core: 1, Cause: profile.CauseLock, Start: 130, End: 320},
+		{Core: 0, Cause: profile.CauseDrain, Start: 150, End: 300},
+	}, masterName)...)
+	events = append(events, FromViolations([]audit.Violation{
+		{Cycle: 200, Check: "swmr", Core: 1, Addr: 0x2000_0040, Detail: "2 writable copies"},
+	})...)
+	events = append(events, FromSpanEdges([]span.Edge{
+		{Kind: span.EdgeRetryDrain, From: 140, To: 300, FromMaster: 1, ToMaster: 0, Txn: 2, Cause: 3},
+		{Kind: span.EdgeCompleteResume, From: 320, To: 320, FromMaster: 1, Core: 1, Txn: 2},
+	})...)
+	requireKeys(t, events)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "full_trace.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace drifted from golden file (re-run with -update if intended)\ngot:\n%s", buf.String())
 	}
 }

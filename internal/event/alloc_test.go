@@ -11,11 +11,11 @@ import "testing"
 func TestAllocsEmitDisabled(t *testing.T) {
 	var s *Sink
 	n := testing.AllocsPerRun(1000, func() {
-		s.BusRequest(1, 0, 0x40)
-		s.BusGrant(1, 0, 0x40, true)
-		s.Retry(1, 0, 0x40, 3, false)
-		s.Drain(1, 0x40)
-		s.BusComplete(1, 0, 0x40)
+		s.BusRequest(1, 0, 0x40, 1)
+		s.BusGrant(1, 0, 0x40, true, 1)
+		s.Retry(1, 0, 0x40, 3, false, 1)
+		s.Drain(1, 0x40, 1)
+		s.BusComplete(1, 0, 0x40, 1)
 	})
 	if n != 0 {
 		t.Fatalf("disabled-sink emits allocate %.1f/op, want 0", n)
@@ -29,10 +29,10 @@ func TestAllocsEmitEnabled(t *testing.T) {
 	var total uint64
 	s.Subscribe(func(r *Record) { total += uint64(r.Addr) })
 	emit := func() {
-		s.BusRequest(1, 0, 0x40)
-		s.BusGrant(1, 0, 0x40, true)
-		s.Retry(1, 0, 0x40, 3, true)
-		s.BusComplete(1, 0, 0x40)
+		s.BusRequest(1, 0, 0x40, 1)
+		s.BusGrant(1, 0, 0x40, true, 1)
+		s.Retry(1, 0, 0x40, 3, true, 1)
+		s.BusComplete(1, 0, 0x40, 1)
 	}
 	emit() // warm-up
 	if n := testing.AllocsPerRun(1000, emit); n != 0 {
@@ -42,3 +42,44 @@ func TestAllocsEmitEnabled(t *testing.T) {
 		t.Fatal("subscriber never ran")
 	}
 }
+
+// TestAllocsJSONLWriter: the JSONL exporter renders into a reusable append
+// buffer (strconv, no fmt.Sprintf chains), so a steady-state export is
+// allocation-free per row.
+func TestAllocsJSONLWriter(t *testing.T) {
+	s := NewSink(nil)
+	jw := NewJSONLWriter(discardWriter{}, func(k uint8) string { return "read-line" })
+	s.Subscribe(jw.Handle)
+	emit := func() {
+		s.BusRequest(1, 0, 0x2000_0040, 12)
+		s.BusGrant(1, 0, 0x2000_0040, true, 12)
+		s.Retry(1, 0, 0x2000_0040, 3, true, 12)
+		s.Drain(1, 0x2000_0040, 11)
+		s.BusComplete(1, 0, 0x2000_0040, 12)
+	}
+	emit() // warm-up: first rows may grow the buffer
+	if n := testing.AllocsPerRun(1000, emit); n != 0 {
+		t.Fatalf("JSONL rows allocate %.1f/op, want 0", n)
+	}
+	if jw.Err() != nil || jw.Written() == 0 {
+		t.Fatalf("writer err=%v written=%d", jw.Err(), jw.Written())
+	}
+}
+
+// BenchmarkJSONLWriter measures the per-row cost of the append-based
+// renderer (the guard companion to TestAllocsJSONLWriter).
+func BenchmarkJSONLWriter(b *testing.B) {
+	s := NewSink(nil)
+	jw := NewJSONLWriter(discardWriter{}, func(k uint8) string { return "read-line" })
+	s.Subscribe(jw.Handle)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.BusRequest(1, 0, 0x2000_0040, uint64(i+1))
+		s.Retry(1, 0, 0x2000_0040, 2, true, uint64(i+1))
+		s.BusComplete(1, 0, 0x2000_0040, uint64(i+1))
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }

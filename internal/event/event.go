@@ -13,6 +13,7 @@ package event
 import (
 	"fmt"
 	"io"
+	"strconv"
 
 	"hetcc/internal/coherence"
 )
@@ -106,6 +107,14 @@ type Record struct {
 	// SharedIn/SharedOut carry the shared-signal value before and after a
 	// SharedOverride, and SharedOut the sampled value on BusGrant.
 	SharedIn, SharedOut bool
+	// Txn is the bus-assigned transaction id for
+	// BusRequest/BusGrant/Retry/BusComplete, and for Drain the id of the
+	// write-back transaction that drained the line (0 when unknown, e.g. a
+	// snoop-logic drain notification with no bus transfer of its own).  Ids
+	// are monotonically increasing from 1 in submission order, so the span
+	// collector (package span) can correlate lifecycle events without the
+	// bus depending on it.
+	Txn uint64
 }
 
 // Handler receives records synchronously as they are emitted.  The pointed-to
@@ -185,31 +194,32 @@ func (s *Sink) emit(r Record) {
 	}
 }
 
-// BusRequest records a transaction entering its master's queue.
-func (s *Sink) BusRequest(core int, busKind uint8, addr uint32) {
+// BusRequest records a transaction entering its master's queue; txn is the
+// bus-assigned monotonically increasing transaction id.
+func (s *Sink) BusRequest(core int, busKind uint8, addr uint32, txn uint64) {
 	if s == nil {
 		return
 	}
-	s.emit(Record{Kind: BusRequest, Core: core, Addr: addr, BusKind: busKind})
+	s.emit(Record{Kind: BusRequest, Core: core, Addr: addr, BusKind: busKind, Txn: txn})
 }
 
 // BusGrant records a tenure surviving its address phase; shared is the
 // combined shared-signal sample.
-func (s *Sink) BusGrant(core int, busKind uint8, addr uint32, shared bool) {
+func (s *Sink) BusGrant(core int, busKind uint8, addr uint32, shared bool, txn uint64) {
 	if s == nil {
 		return
 	}
-	s.emit(Record{Kind: BusGrant, Core: core, Addr: addr, BusKind: busKind, SharedOut: shared})
+	s.emit(Record{Kind: BusGrant, Core: core, Addr: addr, BusKind: busKind, SharedOut: shared, Txn: txn})
 }
 
 // Retry records an ARTRY abort; retries is the transaction's running count
 // and drain reports whether a snooper asserted the retry to drain a dirty
 // line (or complete a pending ISR drain) first.
-func (s *Sink) Retry(core int, busKind uint8, addr uint32, retries int, drain bool) {
+func (s *Sink) Retry(core int, busKind uint8, addr uint32, retries int, drain bool, txn uint64) {
 	if s == nil {
 		return
 	}
-	s.emit(Record{Kind: Retry, Core: core, Addr: addr, BusKind: busKind, Retries: retries, Drain: drain})
+	s.emit(Record{Kind: Retry, Core: core, Addr: addr, BusKind: busKind, Retries: retries, Drain: drain, Txn: txn})
 }
 
 // SnoopHit records a snooper matching a remote transaction on line addr; op
@@ -246,24 +256,28 @@ func (s *Sink) SharedOverride(core int, in, out bool) {
 }
 
 // BusComplete records a tenure finishing its data phase and leaving the bus.
-func (s *Sink) BusComplete(core int, busKind uint8, addr uint32) {
+func (s *Sink) BusComplete(core int, busKind uint8, addr uint32, txn uint64) {
 	if s == nil {
 		return
 	}
-	s.emit(Record{Kind: BusComplete, Core: core, Addr: addr, BusKind: busKind})
+	s.emit(Record{Kind: BusComplete, Core: core, Addr: addr, BusKind: busKind, Txn: txn})
 }
 
-// Drain records a completed write-back of line addr.
-func (s *Sink) Drain(core int, addr uint32) {
+// Drain records a completed write-back of line addr; txn is the id of the
+// write-back bus transaction that carried the data (0 when the drain has no
+// transfer of its own, e.g. a TAG-CAM completion notification).
+func (s *Sink) Drain(core int, addr uint32, txn uint64) {
 	if s == nil {
 		return
 	}
-	s.emit(Record{Kind: Drain, Core: core, Addr: addr})
+	s.emit(Record{Kind: Drain, Core: core, Addr: addr, Txn: txn})
 }
 
 // JSONLWriter streams records to w as one JSON object per line.  It is a
 // Sink handler; writes are unbuffered, so callers stream to a bufio.Writer
-// (and flush it) when exporting large runs.
+// (and flush it) when exporting large runs.  Lines are rendered into a
+// reusable append buffer with strconv, so the steady-state enabled path is
+// allocation-free (pinned by TestAllocsJSONLWriter).
 type JSONLWriter struct {
 	w io.Writer
 	// busName renders Record.BusKind (the platform wires bus.Kind.String);
@@ -271,12 +285,13 @@ type JSONLWriter struct {
 	busName func(uint8) string
 	err     error
 	n       uint64
+	buf     []byte
 }
 
 // NewJSONLWriter creates a writer targeting w.  busName, when non-nil, names
 // the raw bus transaction kinds in bus-request/bus-grant/retry rows.
 func NewJSONLWriter(w io.Writer, busName func(uint8) string) *JSONLWriter {
-	return &JSONLWriter{w: w, busName: busName}
+	return &JSONLWriter{w: w, busName: busName, buf: make([]byte, 0, 256)}
 }
 
 // Handle implements Handler.  After the first write error it becomes a no-op
@@ -285,7 +300,8 @@ func (jw *JSONLWriter) Handle(r *Record) {
 	if jw.err != nil {
 		return
 	}
-	_, jw.err = io.WriteString(jw.w, jw.render(r))
+	jw.render(r)
+	_, jw.err = jw.w.Write(jw.buf)
 	if jw.err == nil {
 		jw.n++
 	}
@@ -297,35 +313,98 @@ func (jw *JSONLWriter) Err() error { return jw.err }
 // Written returns the number of rows successfully written.
 func (jw *JSONLWriter) Written() uint64 { return jw.n }
 
-func (jw *JSONLWriter) render(r *Record) string {
-	head := fmt.Sprintf(`{"cycle":%d,"kind":%q,"core":%d`, r.Cycle, r.Kind.String(), r.Core)
-	switch r.Kind {
-	case BusRequest, Retry, BusComplete:
-		s := head + fmt.Sprintf(`,"op":%q,"addr":"0x%08x"`, jw.bus(r.BusKind), r.Addr)
-		if r.Kind == Retry {
-			s += fmt.Sprintf(`,"retries":%d,"drain":%v`, r.Retries, r.Drain)
-		}
-		return s + "}\n"
-	case BusGrant:
-		return head + fmt.Sprintf(`,"op":%q,"addr":"0x%08x","shared":%v}`+"\n", jw.bus(r.BusKind), r.Addr, r.SharedOut)
-	case SnoopHit:
-		return head + fmt.Sprintf(`,"addr":"0x%08x","op":%q}`+"\n", r.Addr, r.Op.String())
-	case StateChange:
-		return head + fmt.Sprintf(`,"addr":"0x%08x","old":%q,"new":%q}`+"\n", r.Addr, r.Old.String(), r.New.String())
-	case WrapperConvert:
-		return head + fmt.Sprintf(`,"from":%q,"to":%q}`+"\n", r.Op.String(), r.Op2.String())
-	case SharedOverride:
-		return head + fmt.Sprintf(`,"in":%v,"out":%v}`+"\n", r.SharedIn, r.SharedOut)
-	case Drain:
-		return head + fmt.Sprintf(`,"addr":"0x%08x"}`+"\n", r.Addr)
-	default:
-		return head + "}\n"
+// appendHex appends `"0xXXXXXXXX"` (quoted, zero-padded to 8 digits).
+func appendHex(b []byte, v uint32) []byte {
+	b = append(b, '"', '0', 'x')
+	for shift := 28; shift >= 0; shift -= 4 {
+		b = append(b, "0123456789abcdef"[(v>>uint(shift))&0xf])
 	}
+	return append(b, '"')
 }
 
-func (jw *JSONLWriter) bus(k uint8) string {
-	if jw.busName != nil {
-		return jw.busName(k)
+// appendQuoted appends s as a JSON string.  Every string rendered here (kind
+// tags, bus-kind names, coherence state/op names) is plain ASCII without
+// quotes or backslashes, so no escaping pass is needed; strconv.AppendQuote
+// is the fallback for anything else.
+func appendQuoted(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c == '"' || c == '\\' || c >= 0x7f {
+			return strconv.AppendQuote(b, s)
+		}
 	}
-	return fmt.Sprintf("Kind(%d)", k)
+	b = append(b, '"')
+	b = append(b, s...)
+	return append(b, '"')
+}
+
+// render rebuilds jw.buf with one "{...}\n" line for r.
+func (jw *JSONLWriter) render(r *Record) {
+	b := jw.buf[:0]
+	b = append(b, `{"cycle":`...)
+	b = strconv.AppendUint(b, r.Cycle, 10)
+	b = append(b, `,"kind":`...)
+	b = appendQuoted(b, r.Kind.String())
+	b = append(b, `,"core":`...)
+	b = strconv.AppendInt(b, int64(r.Core), 10)
+	switch r.Kind {
+	case BusRequest, Retry, BusComplete, BusGrant:
+		b = append(b, `,"op":`...)
+		b = jw.appendBus(b, r.BusKind)
+		b = append(b, `,"addr":`...)
+		b = appendHex(b, r.Addr)
+		if r.Kind == Retry {
+			b = append(b, `,"retries":`...)
+			b = strconv.AppendInt(b, int64(r.Retries), 10)
+			b = append(b, `,"drain":`...)
+			b = strconv.AppendBool(b, r.Drain)
+		}
+		if r.Kind == BusGrant {
+			b = append(b, `,"shared":`...)
+			b = strconv.AppendBool(b, r.SharedOut)
+		}
+		if r.Txn != 0 {
+			b = append(b, `,"txn":`...)
+			b = strconv.AppendUint(b, r.Txn, 10)
+		}
+	case SnoopHit:
+		b = append(b, `,"addr":`...)
+		b = appendHex(b, r.Addr)
+		b = append(b, `,"op":`...)
+		b = appendQuoted(b, r.Op.String())
+	case StateChange:
+		b = append(b, `,"addr":`...)
+		b = appendHex(b, r.Addr)
+		b = append(b, `,"old":`...)
+		b = appendQuoted(b, r.Old.String())
+		b = append(b, `,"new":`...)
+		b = appendQuoted(b, r.New.String())
+	case WrapperConvert:
+		b = append(b, `,"from":`...)
+		b = appendQuoted(b, r.Op.String())
+		b = append(b, `,"to":`...)
+		b = appendQuoted(b, r.Op2.String())
+	case SharedOverride:
+		b = append(b, `,"in":`...)
+		b = strconv.AppendBool(b, r.SharedIn)
+		b = append(b, `,"out":`...)
+		b = strconv.AppendBool(b, r.SharedOut)
+	case Drain:
+		b = append(b, `,"addr":`...)
+		b = appendHex(b, r.Addr)
+		if r.Txn != 0 {
+			b = append(b, `,"txn":`...)
+			b = strconv.AppendUint(b, r.Txn, 10)
+		}
+	}
+	b = append(b, '}', '\n')
+	jw.buf = b
+}
+
+func (jw *JSONLWriter) appendBus(b []byte, k uint8) []byte {
+	if jw.busName != nil {
+		return appendQuoted(b, jw.busName(k))
+	}
+	b = append(b, `"Kind(`...)
+	b = strconv.AppendUint(b, uint64(k), 10)
+	return append(b, ')', '"')
 }

@@ -13,15 +13,15 @@ import (
 // the disabled path must be a no-op, never a panic.
 func TestNilSinkIsSafe(t *testing.T) {
 	var s *Sink
-	s.BusRequest(0, 1, 0x100)
-	s.BusGrant(0, 1, 0x100, true)
-	s.Retry(0, 1, 0x100, 3, false)
+	s.BusRequest(0, 1, 0x100, 1)
+	s.BusGrant(0, 1, 0x100, true, 1)
+	s.Retry(0, 1, 0x100, 3, false, 1)
 	s.SnoopHit(1, 0x100, coherence.BusRd)
 	s.StateChange(1, 0x100, coherence.Invalid, coherence.Exclusive)
 	s.WrapperConvert(1, coherence.BusRd, coherence.BusRdX)
 	s.SharedOverride(1, true, false)
-	s.Drain(1, 0x100)
-	s.BusComplete(0, 1, 0x100)
+	s.Drain(1, 0x100, 0)
+	s.BusComplete(0, 1, 0x100, 1)
 	s.Subscribe(func(*Record) { t.Fatal("nil sink delivered an event") })
 	if s.Enabled() || s.Counts() != nil || s.Total() != 0 {
 		t.Fatal("nil sink misbehaves")
@@ -40,7 +40,7 @@ func TestSinkStampsCountsAndFansOut(t *testing.T) {
 
 	s.StateChange(0, 0x2000_0000, coherence.Invalid, coherence.Modified)
 	s.StateChange(1, 0x2000_0020, coherence.Exclusive, coherence.Invalid)
-	s.Drain(1, 0x2000_0020)
+	s.Drain(1, 0x2000_0020, 0)
 
 	if len(got) != 3 || order != "bbb" {
 		t.Fatalf("delivered %d/%q, want 3 records to both subscribers", len(got), order)
@@ -88,15 +88,15 @@ func TestJSONLWriter(t *testing.T) {
 	jw := NewJSONLWriter(&sb, func(k uint8) string { return "bus-kind-" + string('0'+rune(k)) })
 	s.Subscribe(jw.Handle)
 
-	s.BusRequest(0, 2, 0x2000_0000)
-	s.BusGrant(0, 2, 0x2000_0000, true)
-	s.Retry(1, 2, 0x2000_0000, 4, true)
+	s.BusRequest(0, 2, 0x2000_0000, 7)
+	s.BusGrant(0, 2, 0x2000_0000, true, 7)
+	s.Retry(1, 2, 0x2000_0000, 4, true, 7)
 	s.SnoopHit(1, 0x2000_0000, coherence.BusRdX)
 	s.StateChange(0, 0x2000_0000, coherence.Invalid, coherence.Exclusive)
 	s.WrapperConvert(1, coherence.BusRd, coherence.BusRdX)
 	s.SharedOverride(1, true, false)
-	s.Drain(0, 0x2000_0000)
-	s.BusComplete(0, 2, 0x2000_0000)
+	s.Drain(0, 0x2000_0000, 9)
+	s.BusComplete(0, 2, 0x2000_0000, 7)
 
 	if jw.Err() != nil {
 		t.Fatal(jw.Err())
@@ -153,7 +153,7 @@ func TestJSONLWriterStopsOnError(t *testing.T) {
 	jw := NewJSONLWriter(&failWriter{n: 2}, nil)
 	s.Subscribe(jw.Handle)
 	for i := 0; i < 5; i++ {
-		s.Drain(0, uint32(i))
+		s.Drain(0, uint32(i), 0)
 	}
 	if jw.Err() == nil || jw.Written() != 2 {
 		t.Fatalf("err=%v written=%d, want latched error after 2", jw.Err(), jw.Written())
@@ -167,7 +167,7 @@ func TestJSONLWriterNilBusName(t *testing.T) {
 	s := NewSink(nil)
 	jw := NewJSONLWriter(&sb, nil)
 	s.Subscribe(jw.Handle)
-	s.BusRequest(0, 7, 0x10)
+	s.BusRequest(0, 7, 0x10, 1)
 	if !strings.Contains(sb.String(), "Kind(7)") {
 		t.Fatalf("fallback naming missing: %s", sb.String())
 	}

@@ -19,6 +19,7 @@ import (
 	"hetcc/internal/profile"
 	"hetcc/internal/sim"
 	"hetcc/internal/snooplogic"
+	"hetcc/internal/span"
 	"hetcc/internal/trace"
 	"hetcc/internal/wrapper"
 )
@@ -63,6 +64,24 @@ type Platform struct {
 	auditor    *audit.Auditor
 	eventJSONL *event.JSONLWriter
 	profiler   *profile.Ledger
+	spans      *span.Collector
+}
+
+// Spans returns the causal transaction-span collector (nil unless
+// Config.Spans).  Valid after Run: the collector is finished and its stall
+// links, edges and JSONL export are available.
+func (p *Platform) Spans() *span.Collector { return p.spans }
+
+// MasterName labels bus master id for exports: the processor model for CPU
+// cores, "dma" for the DMA engine.
+func (p *Platform) MasterName(id int) string {
+	if id >= 0 && id < len(p.Config.Processors) {
+		return p.Config.Processors[id].Model
+	}
+	if p.DMA != nil && id == len(p.Config.Processors) {
+		return "dma"
+	}
+	return fmt.Sprintf("master %d", id)
 }
 
 // Build validates cfg and wires the system.
@@ -120,13 +139,17 @@ func Build(cfg Config) (*Platform, error) {
 	// The event stream exists when the auditor or the JSONL export wants
 	// it; otherwise the sink stays nil and every producer emission is one
 	// nil check (same contract as the metrics instruments).
-	if cfg.Audit || cfg.EventLog != nil || cfg.Profile {
+	if cfg.Audit || cfg.EventLog != nil || cfg.Profile || cfg.Spans {
 		p.events = event.NewSink(engine.Now)
 	}
 	b.SetEvents(p.events)
 	if cfg.Profile {
 		p.profiler = profile.NewLedger(len(cfg.Processors))
 		p.events.Subscribe(p.profiler.HandleEvent)
+	}
+	if cfg.Spans {
+		p.spans = span.NewCollector(lineBytes)
+		p.events.Subscribe(p.spans.HandleEvent)
 	}
 	if cfg.EventLog != nil {
 		p.eventJSONL = event.NewJSONLWriter(cfg.EventLog, func(k uint8) string { return bus.Kind(k).String() })

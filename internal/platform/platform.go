@@ -306,6 +306,14 @@ type Config struct {
 	// stream.  Off by default; the disabled path costs one nil check per
 	// stalled cycle.
 	Profile bool
+	// Spans enables the causal transaction-span collector (package span):
+	// every bus transaction's lifecycle is recorded with causal retry→drain
+	// edges and stall-span links, and Result.CriticalPath carries the run's
+	// critical-path attribution (report schema v4, "critical_path").
+	// Enables the coherence event stream; pair with Profile for stall-span
+	// links and the ledger cross-check.  Off by default; the disabled path
+	// costs nothing (the collector is simply never subscribed).
+	Spans bool
 	// DeadlockThreshold overrides the bus livelock detector bound.
 	DeadlockThreshold int
 	// DMA adds the coherent DMA engine (register bank at DMABase).

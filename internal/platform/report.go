@@ -12,6 +12,7 @@ import (
 	"hetcc/internal/metrics"
 	"hetcc/internal/profile"
 	"hetcc/internal/snooplogic"
+	"hetcc/internal/span"
 )
 
 // ReportSchema identifies the machine-readable run-report format; consumers
@@ -20,9 +21,10 @@ const ReportSchema = "hetcc.run-report"
 
 // ReportSchemaVersion is bumped on any incompatible change to Report.
 // v2 added the "audit" section (invariant auditor summary); v3 added the
-// "profile" section (per-core stall-cause ledger) and "trace_dropped".
-// Every v1 and v2 field is unchanged, so older consumers keep working.
-const ReportSchemaVersion = 3
+// "profile" section (per-core stall-cause ledger) and "trace_dropped"; v4
+// added the "critical_path" section (causal span analysis, package span).
+// Every v1, v2 and v3 field is unchanged, so older consumers keep working.
+const ReportSchemaVersion = 4
 
 // Report is the machine-readable summary of one simulation run, written by
 // the -report flag of cmd/hetccsim.  It is deliberately free of wall-clock
@@ -72,6 +74,12 @@ type Report struct {
 	// (schema v3).  Non-zero means trace-derived views (Chrome-trace log
 	// lane, -trace output) reflect only the retained tail of the run.
 	TraceDropped uint64 `json:"trace_dropped,omitempty"`
+
+	// CriticalPath is the causal-span critical-path analysis (schema v4):
+	// the last-retiring core's timeline attributed to (component, cause)
+	// pairs, summing to Cycles exactly and cross-checked against the
+	// profile ledger.  Nil when the run had spans disabled.
+	CriticalPath *span.CriticalPath `json:"critical_path,omitempty"`
 }
 
 // CoreReport is the per-processor slice of a Report.
@@ -102,6 +110,7 @@ func (p *Platform) Report(res Result, scenario string) Report {
 		Audit:             res.Audit,
 		Profile:           res.Profile,
 		TraceDropped:      p.Log.Dropped(),
+		CriticalPath:      res.CriticalPath,
 	}
 	if res.Err != nil {
 		rep.Error = res.Err.Error()

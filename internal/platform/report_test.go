@@ -28,6 +28,7 @@ func runWCSReport(t *testing.T) (*Platform, Result, Report) {
 		MetricsWindow: 5_000,
 		Audit:         true,
 		Profile:       true,
+		Spans:         true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -151,8 +152,8 @@ func TestReportV1FieldsStable(t *testing.T) {
 }
 
 // TestReportV2FieldsStable guards v2 consumers: the "audit" section is
-// unchanged, and the v3 additions are the separate "profile" and
-// "trace_dropped" keys rather than changes to any existing field.
+// unchanged, and the v3/v4 additions are separate keys rather than changes
+// to any existing field.
 func TestReportV2FieldsStable(t *testing.T) {
 	_, res, rep := runWCSReport(t)
 	var buf bytes.Buffer
@@ -168,10 +169,6 @@ func TestReportV2FieldsStable(t *testing.T) {
 	}
 	if _, ok := raw["profile"]; !ok {
 		t.Error("v3 report missing the profile section")
-	}
-	var version int
-	if err := json.Unmarshal(raw["schema_version"], &version); err != nil || version != 3 {
-		t.Errorf("schema_version = %d (%v), want 3", version, err)
 	}
 	// The profile section must uphold the conservation invariant against
 	// the cores section of the same report.
@@ -190,6 +187,46 @@ func TestReportV2FieldsStable(t *testing.T) {
 	}
 	if len(res.StallSpans) == 0 {
 		t.Error("no stall spans captured on a profiled run")
+	}
+}
+
+// TestReportV3FieldsStable guards v3 consumers across the v4 bump: the
+// "profile" and "trace_dropped" keys are unchanged, the schema version is 4,
+// and the v4 addition is the separate "critical_path" section whose
+// attribution partitions the run's cycles exactly and passes the
+// profile-ledger cross-check.
+func TestReportV3FieldsStable(t *testing.T) {
+	_, res, rep := runWCSReport(t)
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"profile", "critical_path"} {
+		if _, ok := raw[f]; !ok {
+			t.Errorf("field %q missing from v%d report", f, ReportSchemaVersion)
+		}
+	}
+	var version int
+	if err := json.Unmarshal(raw["schema_version"], &version); err != nil || version != 4 {
+		t.Errorf("schema_version = %d (%v), want 4", version, err)
+	}
+	cp := rep.CriticalPath
+	if cp == nil {
+		t.Fatal("critical_path missing from a spans-enabled report")
+	}
+	if cp.CrossCheckError != "" {
+		t.Fatalf("critical path failed the profile-ledger cross-check: %s", cp.CrossCheckError)
+	}
+	if cp.TotalCycles != res.Cycles || cp.CyclesAttributed() != res.Cycles {
+		t.Fatalf("critical path attributes %d of %d cycles (reports %d total)",
+			cp.CyclesAttributed(), res.Cycles, cp.TotalCycles)
+	}
+	if len(cp.TopTransactions) == 0 {
+		t.Error("no top blocking transactions on a contended WCS run")
 	}
 }
 

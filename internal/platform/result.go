@@ -13,6 +13,7 @@ import (
 	"hetcc/internal/profile"
 	"hetcc/internal/sim"
 	"hetcc/internal/snooplogic"
+	"hetcc/internal/span"
 )
 
 // Violation records a golden-model coherence defect: a load from the shared
@@ -127,6 +128,11 @@ type Result struct {
 	// Config.Profile).  The Chrome-trace exporter renders them as per-core
 	// lanes.
 	StallSpans []profile.Span
+	// CriticalPath is the causal-span critical-path attribution (nil unless
+	// Config.Spans): the last-retiring core's timeline charged to
+	// (component, cause) pairs, summing to Cycles exactly.  The transaction
+	// records and causal edges behind it are on Platform.Spans().
+	CriticalPath *span.CriticalPath
 }
 
 // Deadlocked reports whether the run ended in the paper's hardware
@@ -184,6 +190,20 @@ func (p *Platform) Run(maxCycles uint64) Result {
 		s := p.profiler.Summary()
 		res.Profile = &s
 		res.StallSpans = p.profiler.Spans()
+	}
+	if p.spans != nil {
+		p.spans.Finish(res.StallSpans, res.Cycles)
+		cores := make([]span.CoreInfo, len(p.CPUs))
+		for i := range p.CPUs {
+			cores[i] = span.CoreInfo{
+				Name:      p.Config.Processors[i].Model,
+				ClockDiv:  p.Config.Processors[i].ClockDiv,
+				Halted:    res.CPU[i].Halted,
+				HaltCycle: res.CPU[i].HaltCycle,
+			}
+		}
+		res.CriticalPath = span.Compute(p.spans, res.Cycles, cores, res.Profile,
+			p.MasterName, func(k uint8) string { return bus.Kind(k).String() }, 10)
 	}
 	if p.vcd != nil {
 		_ = p.vcd.w.Close(p.Engine.Now())

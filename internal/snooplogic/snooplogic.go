@@ -222,7 +222,7 @@ func (sl *SnoopLogic) Complete(lineBase uint32, wasResident bool) {
 		sl.mDrain.Observe(sl.bus.Cycle() - start)
 		delete(sl.hitCycle, base)
 	}
-	sl.events.Drain(sl.owner, base)
+	sl.events.Drain(sl.owner, base, 0)
 	if m, ok := sl.retried[base]; ok {
 		// Hand the bus straight back to the master the ISR was blocking so
 		// its retry wins before this core can re-cache the line.

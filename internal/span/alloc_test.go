@@ -1,0 +1,29 @@
+package span
+
+import (
+	"testing"
+
+	"hetcc/internal/event"
+)
+
+// The collector is event-driven: when spans are disabled it is simply never
+// subscribed, so the hot path carries no span code at all.  These pins keep
+// the nil-safe surface allocation-free so accidental wiring of a disabled
+// collector can never cost the hot loop anything (`make allocs`).
+
+// TestAllocsNilCollector: every method on a nil *Collector is a single nil
+// check and zero garbage.
+func TestAllocsNilCollector(t *testing.T) {
+	var c *Collector
+	r := event.Record{Kind: event.BusRequest, Core: 1, Addr: 0x40, Txn: 1}
+	n := testing.AllocsPerRun(1000, func() {
+		c.HandleEvent(&r)
+		c.Finish(nil, 0)
+		_ = c.Txns()
+		_ = c.Links()
+		_ = c.Dropped()
+	})
+	if n != 0 {
+		t.Fatalf("nil collector allocates %.1f/op, want 0", n)
+	}
+}
