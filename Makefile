@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify allocs bench bench-diff bench-trend gobench bench-metrics bench-audit fmt vet lint observe
+.PHONY: all build test race verify allocs bench bench-diff bench-explain bench-trend gobench bench-metrics bench-audit fmt vet lint observe
 
 all: build
 
@@ -48,6 +48,12 @@ bench:
 
 bench-diff: bench
 	$(GO) run ./cmd/bench diff BENCH_seed.json BENCH_dev.json
+
+# Causal triage of a bench regression: per-cause delta tables for every run
+# beyond threshold, plus the machine-readable bench-delta.json artifact CI
+# uploads on failure.
+bench-explain: bench
+	$(GO) run ./cmd/bench diff -explain -json bench-delta.json BENCH_seed.json BENCH_dev.json
 
 # Performance trajectory across every committed BENCH_*.json (seed first):
 # total cycles, per-solution totals, bus utilisation, go-bench ns/op+allocs.

@@ -19,7 +19,7 @@ var updateGoldens = flag.Bool("update", false, "rewrite the golden batch-digest 
 
 // determinismBatch is a representative run matrix: every case-study platform
 // × scenario × solution, with verification, auditing, profiling and span
-// collection on so the reports carry the full schema-v4 payload (stats,
+// collection on so the reports carry the full schema-v5 payload (stats,
 // violations, audit summary, stall-cause profile, critical path).
 func determinismBatch(t *testing.T) []hetcc.BatchSpec {
 	t.Helper()
@@ -172,8 +172,8 @@ func TestBatchErrorHandling(t *testing.T) {
 }
 
 // TestBatchGoldenDigests pins the jobs=1 report digests of the full
-// 27-combination matrix (platform × scenario × solution, schema-v4 reports
-// with audit, profile and critical-path sections) against a committed golden
+// 27-combination matrix (platform × scenario × solution, schema-v5 reports
+// with audit, profile, critical-path and cohort sections) against a committed golden
 // file.  This is
 // the differential gate for behavior-preserving optimizations: a hot-loop
 // change that alters even one simulated cycle, stat counter or profile span
@@ -203,7 +203,7 @@ func TestBatchGoldenDigests(t *testing.T) {
 	for _, r := range results {
 		cur.Runs[r.Label] = r.Digest
 	}
-	path := filepath.Join("testdata", "batch_digests_v4.json")
+	path := filepath.Join("testdata", "batch_digests_v5.json")
 	if *updateGoldens {
 		raw, err := json.MarshalIndent(cur, "", "  ")
 		if err != nil {

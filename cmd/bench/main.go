@@ -39,6 +39,7 @@ import (
 	"strings"
 
 	"hetcc"
+	"hetcc/internal/delta"
 	"hetcc/internal/platform"
 	"hetcc/internal/profile"
 )
@@ -64,6 +65,11 @@ type File struct {
 	// GoBench carries optional wall-clock ns/op numbers from `go test
 	// -bench`.  Machine-dependent: excluded from Digest and from diffing.
 	GoBench []GoBench `json:"go_bench,omitempty"`
+	// Manifest records the producing toolchain, module revision and flags.
+	// Machine-dependent like GoBench, so it is excluded from Digest; diff
+	// and trend use it to warn when numbers span toolchains.  Nil in files
+	// written before the field existed.
+	Manifest *platform.Manifest `json:"manifest,omitempty"`
 	// Digest is the hex SHA-256 of the canonical JSON of (Params, Runs),
 	// certifying the deterministic portion of the file.
 	Digest string `json:"digest"`
@@ -157,7 +163,8 @@ func runBench(argv []string) int {
 	}
 
 	results := hetcc.RunBatch(specs, hetcc.BatchOptions{Jobs: *jobs})
-	f := File{Schema: Schema, SchemaVersion: SchemaVersion, Rev: *rev, Params: params}
+	f := File{Schema: Schema, SchemaVersion: SchemaVersion, Rev: *rev, Params: params,
+		Manifest: platform.NewManifest(argv, 0)}
 	for i, r := range results {
 		if r.Err != nil {
 			fmt.Fprintf(os.Stderr, "bench: run %s failed: %v\n", r.Label, r.Err)
@@ -220,12 +227,39 @@ func runBench(argv []string) int {
 	return 0
 }
 
+// DeltaArtifact is the machine-readable output of `bench diff -json`: the
+// per-run causal explanations of every threshold-tripping regression, for CI
+// to upload next to the BENCH file itself.
+type DeltaArtifact struct {
+	Schema        string   `json:"schema"`
+	SchemaVersion int      `json:"schema_version"`
+	Old           string   `json:"old"`
+	New           string   `json:"new"`
+	Threshold     float64  `json:"threshold"`
+	Regressions   int      `json:"regressions"`
+	Improvements  int      `json:"improvements_beyond_threshold"`
+	ManifestDiff  []string `json:"manifest_diff,omitempty"`
+	// Explanations holds one conserved cause decomposition per regressed run.
+	Explanations []*delta.Explanation `json:"explanations,omitempty"`
+}
+
+// DeltaSchema identifies the diff -json artifact format.
+const (
+	DeltaSchema        = "hetcc.bench-delta"
+	DeltaSchemaVersion = 1
+)
+
 func runDiff(argv []string) int {
 	fs := flag.NewFlagSet("bench diff", flag.ExitOnError)
-	threshold := fs.Float64("threshold", 0.10, "max tolerated fractional cycle increase per run")
+	var (
+		threshold = fs.Float64("threshold", 0.10, "max tolerated fractional cycle increase per run")
+		explain   = fs.Bool("explain", false, "print a per-cause delta table for every run beyond threshold")
+		jsonOut   = fs.String("json", "", "write a machine-readable delta artifact to this path")
+		topK      = fs.Int("top", 5, "rows per explanation table (0 = all)")
+	)
 	fs.Parse(argv)
 	if fs.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: bench diff [-threshold 0.10] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: bench diff [-threshold 0.10] [-explain] [-json delta.json] [-top 5] old.json new.json")
 		return 2
 	}
 	old, err := readFile(fs.Arg(0))
@@ -238,12 +272,30 @@ func runDiff(argv []string) int {
 		fmt.Fprintf(os.Stderr, "bench diff: %v\n", err)
 		return 2
 	}
+	if !old.Manifest.SameToolchain(cur.Manifest) {
+		fmt.Println("warning: comparing across toolchains — wall-clock numbers are not comparable (cycle counts still are):")
+		for _, d := range old.Manifest.Diff(cur.Manifest) {
+			fmt.Printf("warning:   %s\n", d)
+		}
+	}
+
+	// explainRun renders the causal decomposition of one regressed run from
+	// the two files' stall ledgers.
+	explainRun := func(o, n Run) *delta.Explanation {
+		e := delta.Compare(
+			delta.FromLedger(o.Name, o.Cycles, o.Stalls),
+			delta.FromLedger(n.Name, n.Cycles, n.Stalls),
+		)
+		e.ManifestDiff = old.Manifest.Diff(cur.Manifest)
+		return e
+	}
 
 	curByName := map[string]Run{}
 	for _, r := range cur.Runs {
 		curByName[r.Name] = r
 	}
-	failures := 0
+	failures, improvements := 0, 0
+	var explanations []*delta.Explanation
 	for _, o := range old.Runs {
 		n, ok := curByName[o.Name]
 		if !ok {
@@ -251,20 +303,29 @@ func runDiff(argv []string) int {
 			failures++
 			continue
 		}
-		delta := float64(n.Cycles)/float64(o.Cycles) - 1
+		rel := float64(n.Cycles)/float64(o.Cycles) - 1
 		switch {
 		case n.Cycles == o.Cycles:
 			fmt.Printf("ok   %-28s %9d cycles (unchanged)\n", o.Name, n.Cycles)
-		case delta > *threshold:
+		case rel > *threshold:
 			fmt.Printf("FAIL %-28s %9d -> %9d cycles (%+.1f%% > %.0f%% threshold)\n",
-				o.Name, o.Cycles, n.Cycles, delta*100, *threshold*100)
+				o.Name, o.Cycles, n.Cycles, rel*100, *threshold*100)
 			failures++
-		case delta > 0:
+			e := explainRun(o, n)
+			explanations = append(explanations, e)
+			if *explain {
+				e.WriteText(os.Stdout, *topK)
+			}
+		case rel > 0:
 			fmt.Printf("ok   %-28s %9d -> %9d cycles (%+.1f%%, within threshold)\n",
-				o.Name, o.Cycles, n.Cycles, delta*100)
+				o.Name, o.Cycles, n.Cycles, rel*100)
+		case rel < -*threshold:
+			fmt.Printf("ok   %-28s %9d -> %9d cycles (%+.1f%%, improvement beyond threshold)\n",
+				o.Name, o.Cycles, n.Cycles, rel*100)
+			improvements++
 		default:
 			fmt.Printf("ok   %-28s %9d -> %9d cycles (%+.1f%%, improvement)\n",
-				o.Name, o.Cycles, n.Cycles, delta*100)
+				o.Name, o.Cycles, n.Cycles, rel*100)
 		}
 	}
 	for _, n := range cur.Runs {
@@ -279,11 +340,30 @@ func runDiff(argv []string) int {
 			fmt.Printf("new  %-28s %9d cycles (no baseline)\n", n.Name, n.Cycles)
 		}
 	}
+	if *jsonOut != "" {
+		art := DeltaArtifact{
+			Schema:        DeltaSchema,
+			SchemaVersion: DeltaSchemaVersion,
+			Old:           fs.Arg(0),
+			New:           fs.Arg(1),
+			Threshold:     *threshold,
+			Regressions:   failures,
+			Improvements:  improvements,
+			ManifestDiff:  old.Manifest.Diff(cur.Manifest),
+			Explanations:  explanations,
+		}
+		if err := writeJSON(*jsonOut, art); err != nil {
+			fmt.Fprintf(os.Stderr, "bench diff: %v\n", err)
+			return 2
+		}
+		fmt.Printf("wrote delta artifact %s (%d explanation(s))\n", *jsonOut, len(art.Explanations))
+	}
+	summary := fmt.Sprintf("%d regression(s), %d improvement(s) beyond %.0f%%", failures, improvements, *threshold*100)
 	if failures > 0 {
-		fmt.Printf("bench diff: %d regression(s) beyond %.0f%%\n", failures, *threshold*100)
+		fmt.Printf("bench diff: %s\n", summary)
 		return 1
 	}
-	fmt.Println("bench diff: no regressions")
+	fmt.Printf("bench diff: no regressions (%s)\n", summary)
 	return 0
 }
 
@@ -327,6 +407,16 @@ func runTrend(argv []string) int {
 			return 2
 		}
 		points = append(points, point{p, f})
+	}
+
+	// Wall-clock columns spanning toolchains are not comparable; say so
+	// once up front (cycle counts are machine-independent either way).
+	for i := 1; i < len(points); i++ {
+		a, b := points[i-1].file, points[i].file
+		if !a.Manifest.SameToolchain(b.Manifest) {
+			fmt.Printf("warning: %s and %s were recorded on different toolchains — ns/op columns are not comparable\n",
+				a.Rev, b.Rev)
+		}
 	}
 
 	solutions := []string{"cache-disabled", "software", "proposed"}
@@ -387,9 +477,13 @@ func runTrend(argv []string) int {
 			cell := "-"
 			for _, gb := range pt.file.GoBench {
 				if gb.Name == name {
+					// Older files predate allocs_op; render a placeholder
+					// rather than implying zero allocations.
 					cell = fmt.Sprintf("%.1f", gb.NsOp)
 					if gb.AllocsOp != nil {
 						cell += fmt.Sprintf(" [%d]", *gb.AllocsOp)
+					} else {
+						cell += " [-]"
 					}
 					break
 				}
@@ -413,6 +507,21 @@ func digest(f File) (string, error) {
 	}
 	sum := sha256.Sum256(raw)
 	return hex.EncodeToString(sum[:]), nil
+}
+
+// writeJSON writes any value as indented JSON (the diff -json artifact).
+func writeJSON(path string, v any) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }
 
 func writeFile(path string, f File) error {

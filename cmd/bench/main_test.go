@@ -1,11 +1,15 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"hetcc"
+	"hetcc/internal/platform"
 	"hetcc/internal/profile"
 )
 
@@ -126,6 +130,186 @@ func TestDiffExitCodes(t *testing.T) {
 	}
 	if got := runDiff([]string{base}); got != 2 {
 		t.Error("missing operand not a usage error")
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns what
+// it printed alongside its exit code.
+func captureStdout(t *testing.T, fn func() int) (string, int) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := os.Stdout
+	os.Stdout = w
+	code := fn()
+	os.Stdout = saved
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), code
+}
+
+// TestDiffUnreadableFileExitCode: I/O and validation failures are usage-level
+// errors (exit 2), distinct from regressions (exit 1).
+func TestDiffUnreadableFileExitCode(t *testing.T) {
+	ok := writeSample(t, "ok.json", sampleFile(1000))
+	missing := filepath.Join(t.TempDir(), "nope.json")
+	if got := runDiff([]string{missing, ok}); got != 2 {
+		t.Errorf("unreadable old file: exit %d, want 2", got)
+	}
+	if got := runDiff([]string{ok, missing}); got != 2 {
+		t.Errorf("unreadable new file: exit %d, want 2", got)
+	}
+	garbage := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(garbage, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := runDiff([]string{ok, garbage}); got != 2 {
+		t.Errorf("malformed new file: exit %d, want 2", got)
+	}
+}
+
+// TestDiffSummaryCountsImprovements: improvements beyond the threshold are
+// counted in the summary line, not only reported per run.
+func TestDiffSummaryCountsImprovements(t *testing.T) {
+	base := sampleFile(1000)
+	base.Runs = append(base.Runs, Run{Name: "pf2/wcs/software", Cycles: 2000})
+	cur := sampleFile(1000)
+	cur.Runs = append(cur.Runs, Run{Name: "pf2/wcs/software", Cycles: 1200}) // -40%
+	oldPath := writeSample(t, "old.json", base)
+	curPath := writeSample(t, "cur.json", cur)
+	out, code := captureStdout(t, func() int { return runDiff([]string{oldPath, curPath}) })
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "no regressions (0 regression(s), 1 improvement(s) beyond 10%)") {
+		t.Fatalf("summary does not count improvements beyond threshold:\n%s", out)
+	}
+	if !strings.Contains(out, "improvement beyond threshold") {
+		t.Fatalf("per-run improvement line missing:\n%s", out)
+	}
+}
+
+// explainFixtures builds a baseline and a regressed file whose regression is
+// dominated by arbitration-wait stalls — the "slower arbitration" scenario of
+// the acceptance criteria.
+func explainFixtures(t *testing.T) (string, string) {
+	t.Helper()
+	base := sampleFile(1000)
+	base.Runs[0].Stalls = []profile.CoreSummary{
+		{Core: 0, StallCycles: 300, Causes: map[string]uint64{"arb-wait": 100, "refill": 200}},
+	}
+	base.Manifest = &platform.Manifest{SchemaVersion: 5, GoVersion: "go1.0-old"}
+	cur := sampleFile(1600)
+	cur.Runs[0].Stalls = []profile.CoreSummary{
+		{Core: 0, StallCycles: 850, Causes: map[string]uint64{"arb-wait": 600, "refill": 250}},
+	}
+	cur.Manifest = &platform.Manifest{SchemaVersion: 5, GoVersion: "go9.9-other"}
+	return writeSample(t, "explain-old.json", base), writeSample(t, "explain-new.json", cur)
+}
+
+// TestDiffExplainNamesDominantCause: `bench diff -explain` on a run whose
+// arbitration stalls exploded must print a conserved cause table with
+// arb-wait on top, plus the cross-toolchain warning from the manifests.
+func TestDiffExplainNamesDominantCause(t *testing.T) {
+	oldPath, curPath := explainFixtures(t)
+	out, code := captureStdout(t, func() int {
+		return runDiff([]string{"-explain", oldPath, curPath})
+	})
+	if code != 1 {
+		t.Fatalf("regression not detected: exit %d\n%s", code, out)
+	}
+	causeIdx := strings.Index(out, "by cause (stall-ledger)")
+	if causeIdx < 0 {
+		t.Fatalf("explanation table missing:\n%s", out)
+	}
+	table := out[causeIdx:]
+	arb := strings.Index(table, "arb-wait")
+	refill := strings.Index(table, "refill")
+	if arb < 0 || (refill >= 0 && arb > refill) {
+		t.Fatalf("arb-wait is not the top cause of the explanation:\n%s", out)
+	}
+	if !strings.Contains(out, "warning: comparing across toolchains") {
+		t.Fatalf("cross-toolchain warning missing:\n%s", out)
+	}
+}
+
+// TestDiffJSONArtifact: -json writes a conserved machine-readable delta
+// artifact with the regression/improvement counts CI uploads on failure.
+func TestDiffJSONArtifact(t *testing.T) {
+	oldPath, curPath := explainFixtures(t)
+	artPath := filepath.Join(t.TempDir(), "delta.json")
+	out, code := captureStdout(t, func() int {
+		return runDiff([]string{"-json", artPath, oldPath, curPath})
+	})
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out)
+	}
+	raw, err := os.ReadFile(artPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art DeltaArtifact
+	if err := json.Unmarshal(raw, &art); err != nil {
+		t.Fatalf("artifact does not unmarshal: %v", err)
+	}
+	if art.Schema != DeltaSchema || art.SchemaVersion != DeltaSchemaVersion {
+		t.Fatalf("artifact schema %q v%d", art.Schema, art.SchemaVersion)
+	}
+	if art.Regressions != 1 || len(art.Explanations) != 1 {
+		t.Fatalf("artifact counts wrong: %+v", art)
+	}
+	e := art.Explanations[0]
+	if !e.Conserved() {
+		t.Fatalf("artifact explanation not conserved: %+v", e)
+	}
+	if d := e.Dominant(); d == nil || d.Cause != "arb-wait" || d.Delta != 500 {
+		t.Fatalf("artifact dominant cause %+v, want arb-wait +500", d)
+	}
+	if len(art.ManifestDiff) == 0 {
+		t.Fatal("artifact lost the manifest diff")
+	}
+}
+
+// TestTrendMixedSchemaFiles: trend must tolerate older files that predate
+// allocs_op (rendering "[-]") and warn when files span toolchains.
+func TestTrendMixedSchemaFiles(t *testing.T) {
+	dir := t.TempDir()
+	oldFile := sampleFile(1000)
+	oldFile.Rev = "seed"
+	oldFile.GoBench = []GoBench{{Name: "BenchmarkWCS", NsOp: 120.5}} // no allocs_op
+	oldFile.Manifest = &platform.Manifest{SchemaVersion: 5, GoVersion: "go1.0-old"}
+	newFile := sampleFile(900)
+	newFile.Rev = "head"
+	allocs := uint64(3)
+	newFile.GoBench = []GoBench{{Name: "BenchmarkWCS", NsOp: 110.0, AllocsOp: &allocs}}
+	newFile.Manifest = &platform.Manifest{SchemaVersion: 5, GoVersion: "go9.9-other"}
+	for name, f := range map[string]File{"BENCH_seed.json": oldFile, "BENCH_head.json": newFile} {
+		d, err := digest(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Digest = d
+		if err := writeFile(filepath.Join(dir, name), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, code := captureStdout(t, func() int { return runTrend([]string{"-dir", dir}) })
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "120.5 [-]") {
+		t.Fatalf("missing allocs_op not rendered as [-]:\n%s", out)
+	}
+	if !strings.Contains(out, "110.0 [3]") {
+		t.Fatalf("recorded allocs_op not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "different toolchains") {
+		t.Fatalf("cross-toolchain trend warning missing:\n%s", out)
 	}
 }
 

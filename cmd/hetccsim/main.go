@@ -6,6 +6,7 @@
 //	hetccsim -scenario wcs -solution proposed -lines 32 -exectime 4
 //	hetccsim -scenario bcs -solution software -lines 16 -penalty 96
 //	hetccsim -platform ppc-i486 -scenario tcs -solution proposed -trace 50
+//	hetccsim -scenario wcs -penalty 96 -compare baseline-report.json
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"hetcc"
 	"hetcc/internal/bus"
 	"hetcc/internal/chrometrace"
+	"hetcc/internal/delta"
 	"hetcc/internal/isa"
 	"hetcc/internal/memory"
 	"hetcc/internal/platform"
@@ -52,6 +54,7 @@ func main() {
 		profilePath  = flag.String("profile", "", "write a folded-stack stall-cause profile (flamegraph.pl / speedscope input) to this file")
 		spansPath    = flag.String("spans", "", "write the causal transaction spans (lifecycle + retry/drain edges + stall links) as JSONL to this file")
 		explainFlag  = flag.Bool("explain", false, "print the critical-path analysis: top-K blocking transactions and the per-cause cycle attribution of the last-retiring core")
+		comparePath  = flag.String("compare", "", "baseline run report (JSON, any schema version) to explain this run's cycle delta against")
 		observeDir   = flag.String("observe", "", "write every observability artifact (report, events, audit, stall profile, chrome trace, spans) into this directory; equivalent to setting -report/-events/-audit/-profile/-chrometrace/-spans together")
 		metricsWin   = flag.Uint64("metricswindow", 0, "time-series sampling window in engine cycles (0 = default)")
 		maxCycles    = flag.Uint64("maxcycles", 50_000_000, "cycle budget")
@@ -130,10 +133,10 @@ func main() {
 		cfg.Metrics = true
 		cfg.MetricsWindow = *metricsWin
 	}
-	if *reportPath != "" || *chromePath != "" || *profilePath != "" || *spansPath != "" || *explainFlag {
+	if *reportPath != "" || *chromePath != "" || *profilePath != "" || *spansPath != "" || *explainFlag || *comparePath != "" {
 		cfg.Profile = true
 	}
-	if *reportPath != "" || *chromePath != "" || *spansPath != "" || *explainFlag {
+	if *reportPath != "" || *chromePath != "" || *spansPath != "" || *explainFlag || *comparePath != "" {
 		cfg.Spans = true
 	}
 	if *chromePath != "" && cfg.TraceCap == 0 {
@@ -160,6 +163,9 @@ func main() {
 
 	p, err := hetcc.Build(cfg)
 	fatalIf(err)
+	// Reports carry full provenance: this binary's toolchain, the CLI flags
+	// and the workload seed (the -compare explainer diffs these first).
+	p.Manifest = platform.NewManifest(os.Args[1:], *seed)
 	if len(progFlags) > 0 {
 		progs := make([]isa.Program, len(p.CPUs))
 		for i := range progs {
@@ -278,10 +284,9 @@ func main() {
 		}
 	}
 	if eventsBuf != nil {
-		fatalIf(eventsBuf.Flush())
+		fatalIf(p.CloseEventLog())
 		fatalIf(eventsFile.Close())
-		written, werr := p.EventLogStats()
-		fatalIf(werr)
+		written, _ := p.EventLogStats()
 		fmt.Printf("event stream: %d JSONL records written to %s\n", written, *eventsPath)
 	}
 
@@ -335,6 +340,26 @@ func main() {
 	}
 	if *explainFlag {
 		printExplain(res.CriticalPath)
+	}
+	if *comparePath != "" {
+		f, err := os.Open(*comparePath)
+		fatalIf(err)
+		baseline, err := platform.ReadReport(f)
+		f.Close()
+		fatalIf(err)
+		oldName := baseline.Scenario
+		if oldName == "" {
+			oldName = *comparePath
+		}
+		e := delta.Compare(
+			delta.FromReport(oldName+" (baseline)", baseline),
+			delta.FromReport("this run", p.Report(res, scenario.String())),
+		)
+		fmt.Printf("\ndifferential analysis vs %s (schema v%d):\n", *comparePath, baseline.SchemaVersion)
+		e.WriteText(os.Stdout, 10)
+		if !e.Conserved() {
+			fmt.Println("warning: attributed deltas do not sum to the total cycle delta")
+		}
 	}
 
 	if res.Err != nil {

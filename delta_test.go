@@ -1,0 +1,156 @@
+package hetcc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hetcc"
+	"hetcc/internal/delta"
+	"hetcc/internal/memory"
+	"hetcc/internal/platform"
+	"hetcc/internal/workload"
+)
+
+// deltaMatrixRuns executes the 27-run determinism matrix once with reports
+// and returns each run as comparison evidence.
+func deltaMatrixRuns(t *testing.T) []delta.Run {
+	t.Helper()
+	specs := determinismBatch(t)
+	results := hetcc.RunBatch(specs, hetcc.BatchOptions{Jobs: 4, Reports: true})
+	runs := make([]delta.Run, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("run %q failed: %v", r.Label, r.Err)
+		}
+		if r.Report == nil {
+			t.Fatalf("run %q has no report", r.Label)
+		}
+		if r.Report.CriticalPath == nil || r.Report.CriticalPath.CrossCheckError != "" {
+			t.Fatalf("run %q critical path missing or failed its ledger cross-check: %+v", r.Label, r.Report.CriticalPath)
+		}
+		if r.Report.Cohorts == nil || !r.Report.Cohorts.Conserved() {
+			t.Fatalf("run %q cohort partition missing or not conserved", r.Label)
+		}
+		runs[i] = delta.FromReport(r.Label, *r.Report)
+	}
+	return runs
+}
+
+// TestDeltaConservationAcrossMatrix is the tentpole property test: for every
+// pair of the 27 matrix runs (729 ordered pairs, including self-pairs and
+// cross-platform / cross-scenario / cross-solution pairs), the per-cause and
+// per-cohort attributed deltas sum exactly to the total cycle delta, and the
+// ledger-only comparison of the same pair cross-checks against the two runs'
+// stall ledgers.
+func TestDeltaConservationAcrossMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("27-run matrix in -short mode")
+	}
+	runs := deltaMatrixRuns(t)
+	for i, a := range runs {
+		for j, b := range runs {
+			e := delta.Compare(a, b)
+			if e.Source != delta.SourceCriticalPath {
+				t.Fatalf("%s vs %s: source %q, want critical-path", a.Name, b.Name, e.Source)
+			}
+			if e.CrossCheckError != "" {
+				t.Fatalf("%s vs %s: cross-check failed: %s", a.Name, b.Name, e.CrossCheckError)
+			}
+			if !e.Conserved() {
+				t.Fatalf("%s vs %s: explanation not conserved", a.Name, b.Name)
+			}
+			if !e.HasCohorts {
+				t.Fatalf("%s vs %s: cohort layer missing", a.Name, b.Name)
+			}
+			if i == j {
+				if e.Delta != 0 || e.Dominant() != nil {
+					t.Fatalf("%s vs itself: delta %d dominant %+v", a.Name, e.Delta, e.Dominant())
+				}
+			}
+
+			// Cross-check the cause layer against the two runs' stall
+			// ledgers: the ledger-only comparison of the same pair must be
+			// conserved and reproduce each (core, cause) count exactly.
+			le := delta.Compare(
+				delta.FromLedger(a.Name, a.Cycles, a.Stalls),
+				delta.FromLedger(b.Name, b.Cycles, b.Stalls),
+			)
+			if le.Source != delta.SourceStallLedger || !le.Conserved() || le.CrossCheckError != "" {
+				t.Fatalf("%s vs %s: ledger comparison broken: %+v", a.Name, b.Name, le)
+			}
+			want := map[string][2]uint64{}
+			for _, cs := range a.Stalls {
+				for cause, n := range cs.Causes {
+					k := fmt.Sprintf("core %d/%s", cs.Core, cause)
+					v := want[k]
+					v[0] += n
+					want[k] = v
+				}
+			}
+			for _, cs := range b.Stalls {
+				for cause, n := range cs.Causes {
+					k := fmt.Sprintf("core %d/%s", cs.Core, cause)
+					v := want[k]
+					v[1] += n
+					want[k] = v
+				}
+			}
+			for _, c := range le.Causes {
+				if c.Cause == "execute/overlap" {
+					continue
+				}
+				k := c.Component + "/" + c.Cause
+				if v := want[k]; v[0] != c.Old || v[1] != c.New {
+					t.Fatalf("%s vs %s: %s delta (%d, %d) disagrees with the stall ledgers (%d, %d)",
+						a.Name, b.Name, k, c.Old, c.New, v[0], v[1])
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaExplainsPerturbedTiming pins the end-to-end triage story the PR
+// exists for: slow main memory down (the Figure 8 sweep lever) and the
+// explanation of baseline-vs-perturbed must name refill stalls — waiting on
+// memory — as the dominant cause of the regression.
+func TestDeltaExplainsPerturbedTiming(t *testing.T) {
+	run := func(penalty int) delta.Run {
+		cfg := hetcc.Config{
+			Scenario:   workload.BCS,
+			Solution:   platform.Proposed,
+			Processors: platform.PPCARm(),
+			Params:     hetcc.Params{Lines: 8, ExecTime: 1, Iterations: 4},
+			Verify:     true,
+			Profile:    true,
+			Spans:      true,
+			MaxCycles:  5_000_000,
+		}
+		name := "baseline"
+		if penalty > 0 {
+			cfg.Timing = memory.ScaledTiming(penalty)
+			name = fmt.Sprintf("penalty=%d", penalty)
+		}
+		p, err := hetcc.Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := p.Run(cfg.MaxCycles)
+		if res.Err != nil {
+			t.Fatalf("%s: %v", name, res.Err)
+		}
+		return delta.FromReport(name, p.Report(res, "bcs"))
+	}
+	base := run(0)
+	slow := run(96)
+	e := delta.Compare(base, slow)
+	if e.Delta <= 0 {
+		t.Fatalf("slower memory did not slow the run: %+d cycles", e.Delta)
+	}
+	if !e.Conserved() || e.CrossCheckError != "" {
+		t.Fatalf("explanation broken: %+v", e)
+	}
+	d := e.Dominant()
+	if d == nil || d.Cause != "refill" {
+		t.Fatalf("dominant cause %+v, want refill (memory wait) after a memory-timing perturbation\ncauses: %+v", d, e.Causes)
+	}
+}

@@ -1,0 +1,448 @@
+// Package delta is the causal run-comparison engine: it takes two runs of
+// the simulator and decomposes the total cycle delta into an exact tree —
+// per stall cause (arb-wait / retry-backoff / drain / refill / inval-remiss /
+// lock-spin), per critical-path (component, cause) pair, and per transaction
+// cohort ("34 extra ARTRY retries on line 0x1f80 from master 1") — with a
+// conservation invariant: the attributed deltas sum to the total cycle delta
+// by construction, so the explanation can never silently drop cycles.
+//
+// Two attribution sources are supported, picked automatically:
+//
+//   - "critical-path": both runs carry a span.CriticalPath attribution
+//     (report schema v4+, -observe bundles).  Each run's attribution
+//     partitions its own cycle count exactly, so the per-(component, cause)
+//     differences sum to the total delta with no residual.
+//   - "stall-ledger": both runs carry only the per-core stall-cause ledger
+//     (bench files, schema v3 reports).  Per-core stalls overlap in wall
+//     clock, so the cause differences are topped up with an explicit
+//     "execute/overlap" residual entry that restores conservation; a large
+//     residual honestly says "the ledger alone cannot localise this".
+//
+// When both runs also carry the schema-v5 cohort partition, the same
+// subtraction yields an exact per-(master, op, line) decomposition with its
+// own execute/unlinked terms.
+package delta
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"hetcc/internal/platform"
+	"hetcc/internal/profile"
+	"hetcc/internal/span"
+)
+
+// Attribution sources, recorded in Explanation.Source.
+const (
+	SourceCriticalPath = "critical-path"
+	SourceStallLedger  = "stall-ledger"
+	SourceTotalsOnly   = "totals-only"
+)
+
+// residualCause labels the conservation top-up entry in stall-ledger mode:
+// the part of the cycle delta the overlapping per-core ledgers cannot
+// localise (execute time, stall overlap, clock-domain skew).
+const residualCause = "execute/overlap"
+
+// executeCause mirrors span's label for non-stalled anchor time.
+const executeCause = "execute"
+
+// Run is one side of a comparison: a named cycle total plus whatever
+// attribution evidence the producer recorded.  Zero evidence is valid — the
+// comparison then degrades to totals-only.
+type Run struct {
+	Name   string
+	Cycles uint64
+	// Attribution is the critical-path partition of Cycles (nil when the run
+	// had spans disabled).  Trusted only if it sums to Cycles exactly.
+	Attribution []span.Attribution
+	// Stalls is the per-core stall-cause ledger (nil when profiling was off).
+	Stalls []profile.CoreSummary
+	// CoreNames labels Stalls entries by core index; missing entries fall
+	// back to "core N".
+	CoreNames []string
+	// Cohorts is the per-(master, op, line) partition (nil before schema v5).
+	Cohorts *span.CohortSummary
+	// Manifest is the run's provenance block, if recorded.
+	Manifest *platform.Manifest
+}
+
+// FromReport extracts the comparison evidence from a run report of any
+// schema version; name labels the run in rendered output (the report's
+// scenario is used when name is empty).
+func FromReport(name string, rep platform.Report) Run {
+	if name == "" {
+		name = rep.Scenario
+	}
+	r := Run{
+		Name:     name,
+		Cycles:   rep.Cycles,
+		Cohorts:  rep.Cohorts,
+		Manifest: rep.Manifest,
+	}
+	if rep.CriticalPath != nil {
+		r.Attribution = rep.CriticalPath.Attribution
+	}
+	if rep.Profile != nil {
+		r.Stalls = rep.Profile.Cores
+	}
+	for _, c := range rep.Cores {
+		r.CoreNames = append(r.CoreNames, c.Name)
+	}
+	return r
+}
+
+// FromLedger builds a Run from a cycle total and a stall-cause ledger — the
+// evidence a bench file carries per run.
+func FromLedger(name string, cycles uint64, stalls []profile.CoreSummary) Run {
+	return Run{Name: name, Cycles: cycles, Stalls: stalls}
+}
+
+// CauseDelta is one leaf of the cause layer: how many cycles a
+// (component, cause) pair gained or lost between the two runs.
+type CauseDelta struct {
+	Component string `json:"component"`
+	Cause     string `json:"cause"`
+	Old       uint64 `json:"old_cycles"`
+	New       uint64 `json:"new_cycles"`
+	Delta     int64  `json:"delta_cycles"`
+}
+
+// CohortDelta is one leaf of the cohort layer: how one (master, op, line)
+// cohort's critical cycles and retry counts moved between the two runs.
+type CohortDelta struct {
+	Component string `json:"component"`
+	Op        string `json:"op"`
+	Line      string `json:"line"`
+	Old       uint64 `json:"old_cycles"`
+	New       uint64 `json:"new_cycles"`
+	Delta     int64  `json:"delta_cycles"`
+	// CountDelta / RetryDelta / DrainRetryDelta are the changes in submitted
+	// transactions, ARTRY epochs and drain-qualified ARTRY epochs.
+	CountDelta      int `json:"count_delta,omitempty"`
+	RetryDelta      int `json:"retry_delta,omitempty"`
+	DrainRetryDelta int `json:"drain_retry_delta,omitempty"`
+}
+
+// Explanation is the full decomposition of new − old.
+type Explanation struct {
+	OldName string `json:"old_name,omitempty"`
+	NewName string `json:"new_name,omitempty"`
+
+	OldCycles uint64 `json:"old_cycles"`
+	NewCycles uint64 `json:"new_cycles"`
+	// Delta is NewCycles − OldCycles; every layer below sums to it exactly.
+	Delta int64 `json:"delta_cycles"`
+
+	// Source names the cause-layer evidence: SourceCriticalPath,
+	// SourceStallLedger or SourceTotalsOnly.
+	Source string `json:"source"`
+
+	// ManifestDiff lists provenance differences ("go version: X -> Y") so the
+	// reader knows *what* changed before reading *why*; empty when the
+	// manifests agree or neither run recorded one.
+	ManifestDiff []string `json:"manifest_diff,omitempty"`
+
+	// Causes is the cause layer, sorted by |delta| descending.  Its deltas
+	// sum to Delta exactly (in stall-ledger mode via the residual entry).
+	Causes []CauseDelta `json:"causes,omitempty"`
+
+	// Cohorts is the cohort layer (present only when both runs carried a
+	// conserved cohort partition), sorted by |delta| descending.
+	// ExecuteDelta + UnlinkedDelta + Σ Cohorts.Delta == Delta exactly.
+	Cohorts       []CohortDelta `json:"cohorts,omitempty"`
+	ExecuteDelta  int64         `json:"execute_delta,omitempty"`
+	UnlinkedDelta int64         `json:"unlinked_delta,omitempty"`
+	// HasCohorts distinguishes "no cohort evidence" from "cohort layer with
+	// zero entries".
+	HasCohorts bool `json:"has_cohorts,omitempty"`
+
+	// CrossCheckError records any conservation or ledger self-consistency
+	// failure detected while building the explanation (empty = all exact).
+	CrossCheckError string `json:"cross_check_error,omitempty"`
+}
+
+// causeKey aligns cause entries across runs.
+type causeKey struct{ component, cause string }
+
+// attributionSums reports whether attr partitions cycles exactly — the
+// precondition for residual-free critical-path subtraction.
+func attributionSums(attr []span.Attribution, cycles uint64) bool {
+	if attr == nil {
+		return false
+	}
+	var sum uint64
+	for _, a := range attr {
+		sum += a.Cycles
+	}
+	return sum == cycles
+}
+
+// ledgerCauses flattens a per-core stall ledger into (component, cause)
+// cycle counts, validating each core's conservation invariant.
+func ledgerCauses(r Run, out map[causeKey][2]uint64, side int, errs *[]string) {
+	for i, cs := range r.Stalls {
+		comp := fmt.Sprintf("core %d", cs.Core)
+		if cs.Core < len(r.CoreNames) && r.CoreNames[cs.Core] != "" {
+			comp = r.CoreNames[cs.Core]
+		}
+		var sum uint64
+		for cause, n := range cs.Causes {
+			sum += n
+			k := causeKey{comp, cause}
+			v := out[k]
+			v[side] += n
+			out[k] = v
+		}
+		if sum != cs.StallCycles {
+			*errs = append(*errs, fmt.Sprintf("%s: core %d ledger causes sum to %d, stall_cycles %d", r.Name, i, sum, cs.StallCycles))
+		}
+	}
+}
+
+// Compare decomposes newRun − oldRun into an Explanation.  It never fails:
+// with no usable evidence the result is a totals-only delta, and internal
+// inconsistencies are surfaced in CrossCheckError rather than swallowed.
+func Compare(oldRun, newRun Run) *Explanation {
+	e := &Explanation{
+		OldName:   oldRun.Name,
+		NewName:   newRun.Name,
+		OldCycles: oldRun.Cycles,
+		NewCycles: newRun.Cycles,
+		Delta:     int64(newRun.Cycles) - int64(oldRun.Cycles),
+		Source:    SourceTotalsOnly,
+	}
+	e.ManifestDiff = oldRun.Manifest.Diff(newRun.Manifest)
+	var errs []string
+
+	// Cause layer: prefer the exact critical-path partitions, fall back to
+	// the stall ledgers plus a residual, else totals only.
+	byKey := make(map[causeKey][2]uint64)
+	switch {
+	case attributionSums(oldRun.Attribution, oldRun.Cycles) && attributionSums(newRun.Attribution, newRun.Cycles):
+		e.Source = SourceCriticalPath
+		for _, a := range oldRun.Attribution {
+			k := causeKey{a.Component, a.Cause}
+			v := byKey[k]
+			v[0] += a.Cycles
+			byKey[k] = v
+		}
+		for _, a := range newRun.Attribution {
+			k := causeKey{a.Component, a.Cause}
+			v := byKey[k]
+			v[1] += a.Cycles
+			byKey[k] = v
+		}
+	case oldRun.Stalls != nil && newRun.Stalls != nil:
+		e.Source = SourceStallLedger
+		ledgerCauses(oldRun, byKey, 0, &errs)
+		ledgerCauses(newRun, byKey, 1, &errs)
+	default:
+		if oldRun.Attribution != nil || newRun.Attribution != nil {
+			errs = append(errs, "critical-path attribution present but not conserved on both runs")
+		}
+	}
+	var attributed int64
+	for k, v := range byKey {
+		d := int64(v[1]) - int64(v[0])
+		attributed += d
+		if d == 0 && v[0] == 0 {
+			continue // cause absent on both sides
+		}
+		e.Causes = append(e.Causes, CauseDelta{Component: k.component, Cause: k.cause, Old: v[0], New: v[1], Delta: d})
+	}
+	if e.Source == SourceStallLedger {
+		// Restore conservation explicitly: whatever the overlapping ledgers
+		// cannot localise is the execute/overlap residual.
+		e.Causes = append(e.Causes, CauseDelta{Component: "(all cores)", Cause: residualCause, Delta: e.Delta - attributed})
+	} else if e.Source == SourceCriticalPath && attributed != e.Delta {
+		errs = append(errs, fmt.Sprintf("critical-path cause deltas sum to %d, total delta %d", attributed, e.Delta))
+	}
+	sortCauses(e.Causes)
+
+	// Cohort layer: exact subtraction of the two anchor-timeline partitions.
+	oc, nc := oldRun.Cohorts, newRun.Cohorts
+	if oc != nil && nc != nil {
+		switch {
+		case !oc.Conserved():
+			errs = append(errs, fmt.Sprintf("%s: cohort partition not conserved", oldRun.Name))
+		case !nc.Conserved():
+			errs = append(errs, fmt.Sprintf("%s: cohort partition not conserved", newRun.Name))
+		default:
+			e.HasCohorts = true
+			e.ExecuteDelta = int64(nc.ExecuteCycles) - int64(oc.ExecuteCycles)
+			e.UnlinkedDelta = int64(nc.UnlinkedCycles) - int64(oc.UnlinkedCycles)
+			type ck struct{ component, op, line string }
+			merged := make(map[ck][2]span.Cohort)
+			for _, c := range oc.Cohorts {
+				k := ck{c.Component, c.Op, c.Line}
+				v := merged[k]
+				v[0] = c
+				merged[k] = v
+			}
+			for _, c := range nc.Cohorts {
+				k := ck{c.Component, c.Op, c.Line}
+				v := merged[k]
+				v[1] = c
+				merged[k] = v
+			}
+			for k, v := range merged {
+				d := CohortDelta{
+					Component:       k.component,
+					Op:              k.op,
+					Line:            k.line,
+					Old:             v[0].CriticalCycles,
+					New:             v[1].CriticalCycles,
+					Delta:           int64(v[1].CriticalCycles) - int64(v[0].CriticalCycles),
+					CountDelta:      v[1].Count - v[0].Count,
+					RetryDelta:      v[1].Retries - v[0].Retries,
+					DrainRetryDelta: v[1].DrainRetries - v[0].DrainRetries,
+				}
+				e.Cohorts = append(e.Cohorts, d)
+			}
+			sortCohorts(e.Cohorts)
+			var sum int64 = e.ExecuteDelta + e.UnlinkedDelta
+			for _, d := range e.Cohorts {
+				sum += d.Delta
+			}
+			if sum != e.Delta {
+				errs = append(errs, fmt.Sprintf("cohort deltas sum to %d, total delta %d", sum, e.Delta))
+			}
+		}
+	}
+
+	if len(errs) > 0 {
+		e.CrossCheckError = errs[0]
+		for _, s := range errs[1:] {
+			e.CrossCheckError += "; " + s
+		}
+	}
+	return e
+}
+
+func sortCauses(cs []CauseDelta) {
+	sort.Slice(cs, func(i, j int) bool {
+		a, b := cs[i], cs[j]
+		if x, y := abs64(a.Delta), abs64(b.Delta); x != y {
+			return x > y
+		}
+		if a.Component != b.Component {
+			return a.Component < b.Component
+		}
+		return a.Cause < b.Cause
+	})
+}
+
+func sortCohorts(cs []CohortDelta) {
+	sort.Slice(cs, func(i, j int) bool {
+		a, b := cs[i], cs[j]
+		if x, y := abs64(a.Delta), abs64(b.Delta); x != y {
+			return x > y
+		}
+		if a.Component != b.Component {
+			return a.Component < b.Component
+		}
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		return a.Line < b.Line
+	})
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Conserved reports the headline invariant: the cause layer sums to Delta
+// (unless totals-only), and so does the cohort layer when present.
+func (e *Explanation) Conserved() bool {
+	if e == nil {
+		return false
+	}
+	if e.Source != SourceTotalsOnly {
+		var sum int64
+		for _, c := range e.Causes {
+			sum += c.Delta
+		}
+		if sum != e.Delta {
+			return false
+		}
+	}
+	if e.HasCohorts {
+		sum := e.ExecuteDelta + e.UnlinkedDelta
+		for _, c := range e.Cohorts {
+			sum += c.Delta
+		}
+		if sum != e.Delta {
+			return false
+		}
+	}
+	return true
+}
+
+// Dominant returns the stall cause entry with the largest cycle growth,
+// skipping the execute and residual buckets (they describe non-stall time).
+// Nil when no stall cause grew.
+func (e *Explanation) Dominant() *CauseDelta {
+	var best *CauseDelta
+	for i := range e.Causes {
+		c := &e.Causes[i]
+		if c.Cause == executeCause || c.Cause == residualCause {
+			continue
+		}
+		if c.Delta > 0 && (best == nil || c.Delta > best.Delta) {
+			best = c
+		}
+	}
+	return best
+}
+
+// WriteText renders the explanation as a human-readable report: the headline
+// delta, the manifest diff, and the top-K entries of each layer.  topK <= 0
+// means "all".
+func (e *Explanation) WriteText(w io.Writer, topK int) {
+	oldName, newName := e.OldName, e.NewName
+	if oldName == "" {
+		oldName = "old"
+	}
+	if newName == "" {
+		newName = "new"
+	}
+	var pct string
+	if e.OldCycles > 0 {
+		pct = fmt.Sprintf(", %+.2f%%", 100*float64(e.Delta)/float64(e.OldCycles))
+	}
+	fmt.Fprintf(w, "%s -> %s: %d -> %d cycles (%+d%s)\n", oldName, newName, e.OldCycles, e.NewCycles, e.Delta, pct)
+	for _, d := range e.ManifestDiff {
+		fmt.Fprintf(w, "  manifest %s\n", d)
+	}
+	if e.CrossCheckError != "" {
+		fmt.Fprintf(w, "  CROSS-CHECK FAILED: %s\n", e.CrossCheckError)
+	}
+	if len(e.Causes) > 0 {
+		fmt.Fprintf(w, "  by cause (%s):\n", e.Source)
+		fmt.Fprintf(w, "    %-28s %-14s %12s %12s %12s\n", "component", "cause", "old", "new", "delta")
+		for i, c := range e.Causes {
+			if topK > 0 && i >= topK {
+				fmt.Fprintf(w, "    ... %d more\n", len(e.Causes)-i)
+				break
+			}
+			fmt.Fprintf(w, "    %-28s %-14s %12d %12d %+12d\n", c.Component, c.Cause, c.Old, c.New, c.Delta)
+		}
+	}
+	if e.HasCohorts {
+		fmt.Fprintf(w, "  by cohort (execute %+d, unlinked %+d):\n", e.ExecuteDelta, e.UnlinkedDelta)
+		fmt.Fprintf(w, "    %-20s %-10s %-12s %12s %8s %8s\n", "component", "op", "line", "delta", "Δretry", "Δdrain")
+		for i, c := range e.Cohorts {
+			if topK > 0 && i >= topK {
+				fmt.Fprintf(w, "    ... %d more\n", len(e.Cohorts)-i)
+				break
+			}
+			fmt.Fprintf(w, "    %-20s %-10s %-12s %+12d %+8d %+8d\n", c.Component, c.Op, c.Line, c.Delta, c.RetryDelta, c.DrainRetryDelta)
+		}
+	}
+}

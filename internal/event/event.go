@@ -310,6 +310,20 @@ func (jw *JSONLWriter) Handle(r *Record) {
 // Err returns the first write error, if any.
 func (jw *JSONLWriter) Err() error { return jw.err }
 
+// Close finishes the export and surfaces what Handle could not: the first
+// write error, or the flush error of a buffered target (any writer with a
+// `Flush() error` method, e.g. *bufio.Writer).  It does not close the
+// underlying writer — the caller owns the file handle.
+func (jw *JSONLWriter) Close() error {
+	if jw.err != nil {
+		return jw.err
+	}
+	if f, ok := jw.w.(interface{ Flush() error }); ok {
+		jw.err = f.Flush()
+	}
+	return jw.err
+}
+
 // Written returns the number of rows successfully written.
 func (jw *JSONLWriter) Written() uint64 { return jw.n }
 

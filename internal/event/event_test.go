@@ -160,6 +160,55 @@ func TestJSONLWriterStopsOnError(t *testing.T) {
 	}
 }
 
+// flushFailWriter accepts writes but fails its final flush — the shape of a
+// bufio.Writer over a full disk, where the data loss only surfaces at flush
+// time.
+type flushFailWriter struct{ writes int }
+
+func (f *flushFailWriter) Write(p []byte) (int, error) { f.writes++; return len(p), nil }
+func (f *flushFailWriter) Flush() error                { return errors.New("flush: disk full") }
+
+// TestJSONLWriterCloseSurfacesErrors checks Close reports what Handle could
+// not: a latched write error, and a buffered target's flush failure.
+func TestJSONLWriterCloseSurfacesErrors(t *testing.T) {
+	// A latched write error comes back from Close verbatim.
+	s := NewSink(nil)
+	jw := NewJSONLWriter(&failWriter{n: 1}, nil)
+	s.Subscribe(jw.Handle)
+	s.Drain(0, 0x10, 0)
+	s.Drain(0, 0x20, 0)
+	if err := jw.Close(); err == nil || err.Error() != "disk full" {
+		t.Fatalf("Close() = %v, want the latched write error", err)
+	}
+
+	// A flush failure on an otherwise clean run surfaces from Close and
+	// latches into Err.
+	fw := &flushFailWriter{}
+	s2 := NewSink(nil)
+	jw2 := NewJSONLWriter(fw, nil)
+	s2.Subscribe(jw2.Handle)
+	s2.Drain(0, 0x10, 0)
+	if jw2.Err() != nil {
+		t.Fatalf("premature error before Close: %v", jw2.Err())
+	}
+	if err := jw2.Close(); err == nil || err.Error() != "flush: disk full" {
+		t.Fatalf("Close() = %v, want the flush error", err)
+	}
+	if jw2.Err() == nil {
+		t.Fatal("flush error not latched into Err")
+	}
+	if fw.writes != 1 {
+		t.Fatalf("%d writes reached the target, want 1", fw.writes)
+	}
+
+	// An unbuffered clean target closes silently.
+	var sb strings.Builder
+	jw3 := NewJSONLWriter(&sb, nil)
+	if err := jw3.Close(); err != nil {
+		t.Fatalf("clean Close() = %v", err)
+	}
+}
+
 // TestJSONLWriterNilBusName checks the numeric fallback when no bus namer is
 // wired (the writer must not depend on package bus).
 func TestJSONLWriterNilBusName(t *testing.T) {

@@ -54,6 +54,11 @@ type Platform struct {
 	Log         *trace.Log
 	// Metrics is the run's metrics registry (nil unless Config.Metrics).
 	Metrics *metrics.Registry
+	// Manifest, when set, is stamped into reports as the provenance block
+	// (schema v5).  Producers that need machine-independent output (the
+	// batch runner, golden tests) either leave it nil or stamp only
+	// deterministic fields; cmd/hetccsim records the full toolchain.
+	Manifest *Manifest
 
 	sampler    *metrics.Sampler
 	tenures    []bus.Tenure
@@ -494,6 +499,16 @@ func (p *Platform) EventLogStats() (written uint64, err error) {
 		return 0, nil
 	}
 	return p.eventJSONL.Written(), p.eventJSONL.Err()
+}
+
+// CloseEventLog finishes the Config.EventLog export, flushing any buffered
+// target and returning the first write or flush error (nil when the export
+// is off).  The caller still owns — and closes — the underlying file.
+func (p *Platform) CloseEventLog() error {
+	if p.eventJSONL == nil {
+		return nil
+	}
+	return p.eventJSONL.Close()
 }
 
 // LoadPrograms installs one program per core.

@@ -1,0 +1,103 @@
+package platform
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Manifest is the provenance block of a run report (schema v5) and of bench
+// files: what produced the numbers — toolchain, module revision, schema
+// version, CLI flags and workload seed — so a differential comparison can
+// state *what* differed between two runs before explaining *why* the cycles
+// moved.  Deliberately free of wall-clock timestamps and hostnames: two runs
+// of the same binary with the same flags produce identical manifests.
+//
+// Wall-clock-independent does not mean machine-independent: GoVersion and
+// ModuleVersion vary across toolchains, so the batch runner (whose report
+// digests are compared byte-for-byte across machines, see
+// testdata/batch_digests_v5.json) stamps only the deterministic fields, and
+// cmd/bench keeps the manifest outside its tamper digest like ns/op.
+type Manifest struct {
+	// SchemaVersion echoes the report schema the producer wrote.
+	SchemaVersion int `json:"schema_version"`
+	// GoVersion is runtime.Version() of the producing binary.
+	GoVersion string `json:"go_version,omitempty"`
+	// Module and ModuleVersion identify the producing module build
+	// (debug.ReadBuildInfo; ModuleVersion is "(devel)" for working-tree
+	// builds).
+	Module        string `json:"module,omitempty"`
+	ModuleVersion string `json:"module_version,omitempty"`
+	// Flags records the producer's command-line arguments.
+	Flags []string `json:"flags,omitempty"`
+	// Seed is the workload seed (0 = the deterministic default stream).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// NewManifest builds a full provenance manifest for the current binary:
+// schema version, Go toolchain, module identity, the given CLI flags and
+// workload seed.
+func NewManifest(flags []string, seed uint64) *Manifest {
+	m := &Manifest{
+		SchemaVersion: ReportSchemaVersion,
+		GoVersion:     runtime.Version(),
+		Flags:         flags,
+		Seed:          seed,
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		m.Module = bi.Main.Path
+		m.ModuleVersion = bi.Main.Version
+	}
+	return m
+}
+
+// Diff lists the fields on which m and other disagree as human-readable
+// "field: a -> b" lines (empty when equivalent).  Either side may be nil —
+// a run recorded before manifests existed — which reports as "(none)".
+func (m *Manifest) Diff(other *Manifest) []string {
+	var out []string
+	line := func(field, a, b string) {
+		if a == "" {
+			a = "(none)"
+		}
+		if b == "" {
+			b = "(none)"
+		}
+		if a != b {
+			out = append(out, fmt.Sprintf("%s: %s -> %s", field, a, b))
+		}
+	}
+	if m == nil && other == nil {
+		return nil
+	}
+	if m == nil {
+		return []string{"manifest: (none) -> recorded"}
+	}
+	if other == nil {
+		return []string{"manifest: recorded -> (none)"}
+	}
+	a, b := *m, *other
+	if a.SchemaVersion != b.SchemaVersion {
+		line("schema version", fmt.Sprint(a.SchemaVersion), fmt.Sprint(b.SchemaVersion))
+	}
+	line("go version", a.GoVersion, b.GoVersion)
+	line("module", a.Module, b.Module)
+	line("module version", a.ModuleVersion, b.ModuleVersion)
+	if fmt.Sprint(a.Flags) != fmt.Sprint(b.Flags) {
+		line("flags", fmt.Sprint(a.Flags), fmt.Sprint(b.Flags))
+	}
+	if a.Seed != b.Seed {
+		line("seed", fmt.Sprint(a.Seed), fmt.Sprint(b.Seed))
+	}
+	return out
+}
+
+// SameToolchain reports whether the two manifests (either possibly nil) name
+// the same Go toolchain and module version — the comparability precondition
+// bench diff/trend warn about.
+func (m *Manifest) SameToolchain(other *Manifest) bool {
+	if m == nil || other == nil {
+		return true // nothing recorded, nothing to contradict
+	}
+	return m.GoVersion == other.GoVersion && m.ModuleVersion == other.ModuleVersion
+}

@@ -22,9 +22,12 @@ const ReportSchema = "hetcc.run-report"
 // ReportSchemaVersion is bumped on any incompatible change to Report.
 // v2 added the "audit" section (invariant auditor summary); v3 added the
 // "profile" section (per-core stall-cause ledger) and "trace_dropped"; v4
-// added the "critical_path" section (causal span analysis, package span).
-// Every v1, v2 and v3 field is unchanged, so older consumers keep working.
-const ReportSchemaVersion = 4
+// added the "critical_path" section (causal span analysis, package span); v5
+// added the "manifest" provenance block and the "cohorts" section (the
+// per-(master, op, line) transaction-cohort partition that differential run
+// analysis, package delta, aligns across runs).  Every v1–v4 field is
+// unchanged, so older consumers keep working.
+const ReportSchemaVersion = 5
 
 // Report is the machine-readable summary of one simulation run, written by
 // the -report flag of cmd/hetccsim.  It is deliberately free of wall-clock
@@ -80,6 +83,18 @@ type Report struct {
 	// pairs, summing to Cycles exactly and cross-checked against the
 	// profile ledger.  Nil when the run had spans disabled.
 	CriticalPath *span.CriticalPath `json:"critical_path,omitempty"`
+
+	// Cohorts is the transaction-cohort partition of the critical core's
+	// timeline (schema v5): execute + unlinked + per-(master, op, line)
+	// blocked cycles sum to Cycles exactly, so two reports subtract into an
+	// exact per-cohort delta.  Nil when the run had spans disabled.
+	Cohorts *span.CohortSummary `json:"cohorts,omitempty"`
+
+	// Manifest records the run's provenance (schema v5): toolchain, module
+	// build, CLI flags and seed.  Nil when the producer stamped none (the
+	// batch runner stamps only deterministic fields so its digests stay
+	// machine-independent).
+	Manifest *Manifest `json:"manifest,omitempty"`
 }
 
 // CoreReport is the per-processor slice of a Report.
@@ -111,6 +126,8 @@ func (p *Platform) Report(res Result, scenario string) Report {
 		Profile:           res.Profile,
 		TraceDropped:      p.Log.Dropped(),
 		CriticalPath:      res.CriticalPath,
+		Cohorts:           res.Cohorts,
+		Manifest:          p.Manifest,
 	}
 	if res.Err != nil {
 		rep.Error = res.Err.Error()
@@ -150,4 +167,22 @@ func WriteReport(w io.Writer, rep Report) error {
 		return fmt.Errorf("report: %w", err)
 	}
 	return nil
+}
+
+// ReadReport decodes a run report written by WriteReport, accepting any
+// schema version up to the current one (older reports simply lack the later
+// sections), so a freshly built binary can explain a delta against a
+// baseline recorded before the latest bump.
+func ReadReport(r io.Reader) (Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return rep, fmt.Errorf("report: %w", err)
+	}
+	if rep.Schema != ReportSchema {
+		return rep, fmt.Errorf("report: schema %q, want %q", rep.Schema, ReportSchema)
+	}
+	if rep.SchemaVersion < 1 || rep.SchemaVersion > ReportSchemaVersion {
+		return rep, fmt.Errorf("report: schema version %d outside the supported range 1..%d", rep.SchemaVersion, ReportSchemaVersion)
+	}
+	return rep, nil
 }

@@ -45,6 +45,15 @@ func runWCSReport(t *testing.T) (*Platform, Result, Report) {
 	if res.Err != nil {
 		t.Fatalf("run failed: %v", res.Err)
 	}
+	// A pinned manifest (no live toolchain probing) keeps the golden file
+	// machine-independent.
+	p.Manifest = &Manifest{
+		SchemaVersion: ReportSchemaVersion,
+		GoVersion:     "go0.0-golden",
+		Module:        "hetcc",
+		ModuleVersion: "(golden)",
+		Flags:         []string{"-scenario", "wcs"},
+	}
 	return p, res, p.Report(res, "wcs")
 }
 
@@ -190,11 +199,10 @@ func TestReportV2FieldsStable(t *testing.T) {
 	}
 }
 
-// TestReportV3FieldsStable guards v3 consumers across the v4 bump: the
-// "profile" and "trace_dropped" keys are unchanged, the schema version is 4,
-// and the v4 addition is the separate "critical_path" section whose
-// attribution partitions the run's cycles exactly and passes the
-// profile-ledger cross-check.
+// TestReportV3FieldsStable guards v3 consumers across the later bumps: the
+// "profile" and "trace_dropped" keys are unchanged and the v4 addition is
+// the separate "critical_path" section whose attribution partitions the
+// run's cycles exactly and passes the profile-ledger cross-check.
 func TestReportV3FieldsStable(t *testing.T) {
 	_, res, rep := runWCSReport(t)
 	var buf bytes.Buffer
@@ -211,8 +219,8 @@ func TestReportV3FieldsStable(t *testing.T) {
 		}
 	}
 	var version int
-	if err := json.Unmarshal(raw["schema_version"], &version); err != nil || version != 4 {
-		t.Errorf("schema_version = %d (%v), want 4", version, err)
+	if err := json.Unmarshal(raw["schema_version"], &version); err != nil || version != ReportSchemaVersion {
+		t.Errorf("schema_version = %d (%v), want %d", version, err, ReportSchemaVersion)
 	}
 	cp := rep.CriticalPath
 	if cp == nil {
@@ -227,6 +235,96 @@ func TestReportV3FieldsStable(t *testing.T) {
 	}
 	if len(cp.TopTransactions) == 0 {
 		t.Error("no top blocking transactions on a contended WCS run")
+	}
+}
+
+// TestReportV4FieldsStable guards v4 consumers across the v5 bump: every
+// v1–v4 key is byte-stable (present under its old name), and the v5
+// additions are the separate "cohorts" and "manifest" sections — the cohort
+// partition conserved against the run's cycle count and the manifest carrying
+// exactly what runWCSReport pinned.
+func TestReportV4FieldsStable(t *testing.T) {
+	_, res, rep := runWCSReport(t)
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	v4Fields := []string{
+		"schema", "schema_version", "scenario", "solution", "platform",
+		"effective_protocol", "cycles", "bus_cycles", "stop_reason",
+		"deadlocked", "coherent", "bus", "cores", "metrics", "audit",
+		"profile", "critical_path",
+	}
+	for _, f := range v4Fields {
+		if _, ok := raw[f]; !ok {
+			t.Errorf("v4 field %q missing from v%d report", f, ReportSchemaVersion)
+		}
+	}
+	for _, f := range []string{"cohorts", "manifest"} {
+		if _, ok := raw[f]; !ok {
+			t.Errorf("v5 field %q missing", f)
+		}
+	}
+	co := rep.Cohorts
+	if co == nil {
+		t.Fatal("cohorts missing from a spans-enabled report")
+	}
+	if !co.Conserved() {
+		t.Fatalf("cohort partition not conserved: %+v", co)
+	}
+	if co.TotalCycles != res.Cycles {
+		t.Fatalf("cohorts partition %d cycles, run took %d", co.TotalCycles, res.Cycles)
+	}
+	if rep.CriticalPath != nil && co.Anchor != rep.CriticalPath.Core {
+		t.Fatalf("cohort anchor %d != critical-path core %d", co.Anchor, rep.CriticalPath.Core)
+	}
+	if len(co.Cohorts) == 0 {
+		t.Error("no cohorts on a contended WCS run")
+	}
+	m := rep.Manifest
+	if m == nil || m.SchemaVersion != ReportSchemaVersion || m.GoVersion != "go0.0-golden" {
+		t.Fatalf("manifest not stamped as pinned: %+v", m)
+	}
+	// The written report must read back through ReadReport.
+	back, err := ReadReport(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadReport rejected its own output: %v", err)
+	}
+	if back.Cycles != res.Cycles || !back.Cohorts.Conserved() {
+		t.Fatalf("round-tripped report drifted: %d cycles, conserved=%v", back.Cycles, back.Cohorts.Conserved())
+	}
+	if diff := m.Diff(back.Manifest); len(diff) != 0 {
+		t.Fatalf("manifest drifted through the round trip: %v", diff)
+	}
+}
+
+// TestReadReportRejects covers ReadReport's validation: wrong schema name and
+// out-of-range schema versions fail; every historical version is accepted.
+func TestReadReportRejects(t *testing.T) {
+	enc := func(schema string, version int) string {
+		b, _ := json.Marshal(Report{Schema: schema, SchemaVersion: version})
+		return string(b)
+	}
+	if _, err := ReadReport(bytes.NewReader([]byte("{not json"))); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := ReadReport(bytes.NewReader([]byte(enc("hetcc.other", 5)))); err == nil {
+		t.Error("wrong schema name accepted")
+	}
+	if _, err := ReadReport(bytes.NewReader([]byte(enc(ReportSchema, ReportSchemaVersion+1)))); err == nil {
+		t.Error("future schema version accepted")
+	}
+	if _, err := ReadReport(bytes.NewReader([]byte(enc(ReportSchema, 0)))); err == nil {
+		t.Error("schema version 0 accepted")
+	}
+	for v := 1; v <= ReportSchemaVersion; v++ {
+		if _, err := ReadReport(bytes.NewReader([]byte(enc(ReportSchema, v)))); err != nil {
+			t.Errorf("historical schema version %d rejected: %v", v, err)
+		}
 	}
 }
 

@@ -133,6 +133,11 @@ type Result struct {
 	// (component, cause) pairs, summing to Cycles exactly.  The transaction
 	// records and causal edges behind it are on Platform.Spans().
 	CriticalPath *span.CriticalPath
+	// Cohorts is the transaction-cohort partition of the critical core's
+	// timeline (nil unless Config.Spans): execute + unlinked + per-(master,
+	// op, line) critical cycles sum to Cycles exactly, the alignment unit of
+	// differential run analysis (package delta).
+	Cohorts *span.CohortSummary
 }
 
 // Deadlocked reports whether the run ended in the paper's hardware
@@ -204,6 +209,10 @@ func (p *Platform) Run(maxCycles uint64) Result {
 		}
 		res.CriticalPath = span.Compute(p.spans, res.Cycles, cores, res.Profile,
 			p.MasterName, func(k uint8) string { return bus.Kind(k).String() }, 10)
+		if res.CriticalPath != nil {
+			res.Cohorts = span.Cohorts(p.spans, res.CriticalPath.Core, res.Cycles,
+				p.MasterName, func(k uint8) string { return bus.Kind(k).String() })
+		}
 	}
 	if p.vcd != nil {
 		_ = p.vcd.w.Close(p.Engine.Now())
