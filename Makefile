@@ -34,10 +34,11 @@ vet:
 	$(GO) vet ./...
 
 # Alloc-regression suite: AllocsPerRun pins of the zero-garbage hot path
-# (bus tick, ARTRY storm, snoop broadcast, event emit, metrics records).
-# Any nonzero allocs/op in steady state fails.
+# (bus tick, ARTRY storm, snoop broadcast, event emit, metrics records,
+# event-scheduler wake structure).  Any nonzero allocs/op in steady state
+# fails.
 allocs:
-	$(GO) test -run TestAllocs -v ./internal/bus ./internal/event ./internal/metrics ./internal/span
+	$(GO) test -run TestAllocs -v ./internal/bus ./internal/event ./internal/metrics ./internal/span ./internal/sim
 
 # Simulated-cycle benchmark suite (cmd/bench): 27 deterministic runs whose
 # cycle counts are machine-independent.  `make bench` refreshes BENCH_dev.json;

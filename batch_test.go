@@ -17,11 +17,16 @@ import (
 
 var updateGoldens = flag.Bool("update", false, "rewrite the golden batch-digest file")
 
+// schedulerModes are the two engine scheduling strategies; every property in
+// this package must hold under both, with byte-identical results.
+var schedulerModes = []string{platform.SchedulerEvent, platform.SchedulerTick}
+
 // determinismBatch is a representative run matrix: every case-study platform
 // × scenario × solution, with verification, auditing, profiling and span
 // collection on so the reports carry the full schema-v5 payload (stats,
-// violations, audit summary, stall-cause profile, critical path).
-func determinismBatch(t *testing.T) []hetcc.BatchSpec {
+// violations, audit summary, stall-cause profile, critical path).  The
+// scheduler argument selects the engine strategy for every run in the batch.
+func determinismBatch(t *testing.T, scheduler string) []hetcc.BatchSpec {
 	t.Helper()
 	presets := []struct {
 		name  string
@@ -46,6 +51,7 @@ func determinismBatch(t *testing.T) []hetcc.BatchSpec {
 						Audit:      true,
 						Profile:    true,
 						Spans:      true,
+						Scheduler:  scheduler,
 						MaxCycles:  5_000_000,
 					},
 				})
@@ -60,7 +66,7 @@ func determinismBatch(t *testing.T) []hetcc.BatchSpec {
 // produce byte-identical JSON run reports and identical audit digests, run
 // by run and in aggregate.
 func TestBatchDeterminismAcrossJobs(t *testing.T) {
-	specs := determinismBatch(t)
+	specs := determinismBatch(t, platform.SchedulerEvent)
 	seq := hetcc.RunBatch(specs, hetcc.BatchOptions{Jobs: 1, Reports: true})
 	par := hetcc.RunBatch(specs, hetcc.BatchOptions{Jobs: 8, Reports: true})
 	if err := hetcc.BatchFirstError(seq); err != nil {
@@ -105,6 +111,57 @@ func TestBatchDeterminismAcrossJobs(t *testing.T) {
 	}
 	if dSeq != dPar {
 		t.Fatalf("aggregate batch digests differ: %s vs %s", dSeq, dPar)
+	}
+}
+
+// TestSchedulerEquivalence is the dual-scheduler gate: the 27-run matrix
+// executed under the event scheduler and under the tick scheduler must
+// produce byte-identical JSON run reports, identical digests and identical
+// cycle counts, run by run and in aggregate (DESIGN.md §8).  The event
+// scheduler skips idle engine cycles; any wake it misses shows up here as a
+// digest divergence.
+func TestSchedulerEquivalence(t *testing.T) {
+	event := hetcc.RunBatch(determinismBatch(t, platform.SchedulerEvent), hetcc.BatchOptions{Jobs: 4, Reports: true})
+	tick := hetcc.RunBatch(determinismBatch(t, platform.SchedulerTick), hetcc.BatchOptions{Jobs: 4, Reports: true})
+	if err := hetcc.BatchFirstError(event); err != nil {
+		t.Fatalf("event batch failed: %v", err)
+	}
+	if err := hetcc.BatchFirstError(tick); err != nil {
+		t.Fatalf("tick batch failed: %v", err)
+	}
+	for i := range event {
+		a, b := event[i], tick[i]
+		if a.Label != b.Label {
+			t.Fatalf("run %d: labels %q / %q diverged", i, a.Label, b.Label)
+		}
+		rawA, err := json.Marshal(a.Report)
+		if err != nil {
+			t.Fatalf("%s: marshal event report: %v", a.Label, err)
+		}
+		rawB, err := json.Marshal(b.Report)
+		if err != nil {
+			t.Fatalf("%s: marshal tick report: %v", b.Label, err)
+		}
+		if !bytes.Equal(rawA, rawB) {
+			t.Errorf("%s: event and tick reports differ:\n%s\n---\n%s", a.Label, rawA, rawB)
+		}
+		if a.Digest == "" || a.Digest != b.Digest {
+			t.Errorf("%s: digest mismatch: event %q, tick %q", a.Label, a.Digest, b.Digest)
+		}
+		if a.Result.Cycles != b.Result.Cycles {
+			t.Errorf("%s: cycle counts differ: event %d, tick %d", a.Label, a.Result.Cycles, b.Result.Cycles)
+		}
+	}
+	dEvent, err := hetcc.BatchDigest(event)
+	if err != nil {
+		t.Fatalf("event batch digest: %v", err)
+	}
+	dTick, err := hetcc.BatchDigest(tick)
+	if err != nil {
+		t.Fatalf("tick batch digest: %v", err)
+	}
+	if dEvent != dTick {
+		t.Fatalf("aggregate batch digests differ: event %s, tick %s", dEvent, dTick)
 	}
 }
 
@@ -174,37 +231,41 @@ func TestBatchErrorHandling(t *testing.T) {
 // TestBatchGoldenDigests pins the jobs=1 report digests of the full
 // 27-combination matrix (platform × scenario × solution, schema-v5 reports
 // with audit, profile, critical-path and cohort sections) against a committed golden
-// file.  This is
+// file — under both schedulers, which must reproduce the same digests.  This is
 // the differential gate for behavior-preserving optimizations: a hot-loop
 // change that alters even one simulated cycle, stat counter or profile span
 // shifts a digest and fails here.  Regenerate with `go test -run
 // TestBatchGoldenDigests -update .` only when an intentional model change
-// shipped.
+// shipped (the golden is written from the tick reference scheduler).
 func TestBatchGoldenDigests(t *testing.T) {
 	type golden struct {
 		ReportSchemaVersion int               `json:"report_schema_version"`
 		BatchDigest         string            `json:"batch_digest"`
 		Runs                map[string]string `json:"runs"`
 	}
-	specs := determinismBatch(t)
-	results := hetcc.RunBatch(specs, hetcc.BatchOptions{Jobs: 1, Reports: true})
-	if err := hetcc.BatchFirstError(results); err != nil {
-		t.Fatalf("batch failed: %v", err)
-	}
-	batch, err := hetcc.BatchDigest(results)
-	if err != nil {
-		t.Fatalf("batch digest: %v", err)
-	}
-	cur := golden{
-		ReportSchemaVersion: platform.ReportSchemaVersion,
-		BatchDigest:         batch,
-		Runs:                make(map[string]string, len(results)),
-	}
-	for _, r := range results {
-		cur.Runs[r.Label] = r.Digest
+	digestsFor := func(t *testing.T, scheduler string) golden {
+		specs := determinismBatch(t, scheduler)
+		results := hetcc.RunBatch(specs, hetcc.BatchOptions{Jobs: 1, Reports: true})
+		if err := hetcc.BatchFirstError(results); err != nil {
+			t.Fatalf("batch failed: %v", err)
+		}
+		batch, err := hetcc.BatchDigest(results)
+		if err != nil {
+			t.Fatalf("batch digest: %v", err)
+		}
+		cur := golden{
+			ReportSchemaVersion: platform.ReportSchemaVersion,
+			BatchDigest:         batch,
+			Runs:                make(map[string]string, len(results)),
+		}
+		for _, r := range results {
+			cur.Runs[r.Label] = r.Digest
+		}
+		return cur
 	}
 	path := filepath.Join("testdata", "batch_digests_v5.json")
 	if *updateGoldens {
+		cur := digestsFor(t, platform.SchedulerTick)
 		raw, err := json.MarshalIndent(cur, "", "  ")
 		if err != nil {
 			t.Fatal(err)
@@ -230,12 +291,18 @@ func TestBatchGoldenDigests(t *testing.T) {
 		t.Fatalf("golden file pins schema v%d, code is v%d (regenerate with -update after a deliberate schema bump)",
 			want.ReportSchemaVersion, platform.ReportSchemaVersion)
 	}
-	for _, r := range results {
-		if got, want := r.Digest, want.Runs[r.Label]; got != want {
-			t.Errorf("%s: report digest %s, golden %s (simulation behavior changed)", r.Label, got, want)
-		}
-	}
-	if batch != want.BatchDigest {
-		t.Errorf("batch digest %s, golden %s", batch, want.BatchDigest)
+	for _, scheduler := range schedulerModes {
+		scheduler := scheduler
+		t.Run(scheduler, func(t *testing.T) {
+			cur := digestsFor(t, scheduler)
+			for label, got := range cur.Runs {
+				if want := want.Runs[label]; got != want {
+					t.Errorf("%s: report digest %s, golden %s (simulation behavior changed)", label, got, want)
+				}
+			}
+			if cur.BatchDigest != want.BatchDigest {
+				t.Errorf("batch digest %s, golden %s", cur.BatchDigest, want.BatchDigest)
+			}
+		})
 	}
 }

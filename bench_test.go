@@ -181,6 +181,45 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(cycles)/float64(b.N), "simCycles/op")
 }
 
+// BenchmarkSchedulerThroughput compares the two engine scheduling strategies
+// on a stall-dominated run: the paper's PF2 WCS under the Proposed solution
+// with the Figure 8 slow-memory lever at 96 extra cycles, where two thirds of
+// all core edges are refill stalls — exactly the idle edges the event
+// scheduler skips in bulk.  Cycle counts are asserted identical to the tick
+// reference on every iteration; only the wall clock may differ.
+// BENCH_pr8.json records the ns/op of both arms (event ≈ 3× tick).
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	cfg := func(scheduler string) Config {
+		return Config{
+			Scenario:  WCS,
+			Solution:  Proposed,
+			Timing:    memory.ScaledTiming(96),
+			Params:    Params{Lines: 8, ExecTime: 1, Iterations: 8, WordsPerLine: 8},
+			Scheduler: scheduler,
+		}
+	}
+	ref := MustRun(cfg(platform.SchedulerTick))
+	if ref.Err != nil {
+		b.Fatal(ref.Err)
+	}
+	for _, scheduler := range schedulerModes {
+		scheduler := scheduler
+		b.Run(scheduler, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(cfg(scheduler))
+				if err != nil || res.Err != nil {
+					b.Fatal(err, res.Err)
+				}
+				if res.Cycles != ref.Cycles {
+					b.Fatalf("%s run took %d cycles, tick reference took %d", scheduler, res.Cycles, ref.Cycles)
+				}
+			}
+			b.ReportMetric(float64(ref.Cycles), "simCycles/op")
+		})
+	}
+}
+
 // BenchmarkMetricsDisabled is the guard benchmark for the nil-instrument
 // path: the reference WCS run with metrics off.  Compare against
 // BenchmarkMetricsEnabled — the disabled path must stay within noise (<2%)

@@ -134,6 +134,7 @@ func runBench(argv []string) int {
 		gobench = fs.String("gobench", "", "also run `go test -bench <pattern>` and record ns/op")
 		lines   = fs.Int("lines", 8, "cache lines accessed per iteration")
 		iters   = fs.Int("iterations", 8, "critical-section entries per task")
+		sched   = fs.String("scheduler", "", "engine scheduling strategy: event or tick (default: the library default; cycle counts are identical either way)")
 	)
 	fs.Parse(argv)
 
@@ -156,6 +157,7 @@ func runBench(argv []string) int {
 						Params:     params,
 						Verify:     true,
 						Profile:    true,
+						Scheduler:  *sched,
 					},
 				})
 			}

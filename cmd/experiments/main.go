@@ -44,6 +44,7 @@ var (
 	jobs       = flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers for the figure sweeps")
 	platFlag   = flag.String("platform", "pf2", "evaluation platform: pf2 (PowerPC755+ARM920T, the paper's) or pf3 (PowerPC755+Intel486)")
 	reportFlag = flag.String("report", "", "write a machine-readable JSON report of the regenerated figure points to this file")
+	schedFlag  = flag.String("scheduler", "", "engine scheduling strategy: event or tick (default: the library default; figures are identical either way)")
 )
 
 // figureReport is the -report document: every figure point regenerated this
@@ -79,7 +80,7 @@ func main() {
 	flag.Parse()
 	start := time.Now()
 	out := os.Stdout
-	opts := hetcc.FigureOptions{Iterations: *iterations, Seed: *seed, Verify: *verify, Audit: *auditFlag, Jobs: *jobs}
+	opts := hetcc.FigureOptions{Iterations: *iterations, Seed: *seed, Verify: *verify, Audit: *auditFlag, Jobs: *jobs, Scheduler: *schedFlag}
 	switch *platFlag {
 	case "pf2", "":
 		// the paper's measurement platform (default)

@@ -18,8 +18,19 @@ import (
 //     entry (scaled by the anchor core's clock divider);
 //  3. enabling span collection is observation-only: cycle counts are
 //     identical to the same runs with spans disabled.
+//
+// All three hold under both the event and the tick scheduler.
 func TestCriticalPathProperties(t *testing.T) {
-	specs := determinismBatch(t)
+	for _, scheduler := range schedulerModes {
+		scheduler := scheduler
+		t.Run(scheduler, func(t *testing.T) {
+			testCriticalPathProperties(t, scheduler)
+		})
+	}
+}
+
+func testCriticalPathProperties(t *testing.T, scheduler string) {
+	specs := determinismBatch(t, scheduler)
 	withSpans := hetcc.RunBatch(specs, hetcc.BatchOptions{Jobs: 8, Reports: true})
 	if err := hetcc.BatchFirstError(withSpans); err != nil {
 		t.Fatalf("spans-enabled batch failed: %v", err)

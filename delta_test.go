@@ -13,9 +13,9 @@ import (
 
 // deltaMatrixRuns executes the 27-run determinism matrix once with reports
 // and returns each run as comparison evidence.
-func deltaMatrixRuns(t *testing.T) []delta.Run {
+func deltaMatrixRuns(t *testing.T, scheduler string) []delta.Run {
 	t.Helper()
-	specs := determinismBatch(t)
+	specs := determinismBatch(t, scheduler)
 	results := hetcc.RunBatch(specs, hetcc.BatchOptions{Jobs: 4, Reports: true})
 	runs := make([]delta.Run, len(results))
 	for i, r := range results {
@@ -41,12 +41,21 @@ func deltaMatrixRuns(t *testing.T) []delta.Run {
 // cross-platform / cross-scenario / cross-solution pairs), the per-cause and
 // per-cohort attributed deltas sum exactly to the total cycle delta, and the
 // ledger-only comparison of the same pair cross-checks against the two runs'
-// stall ledgers.
+// stall ledgers.  The property is checked under both schedulers.
 func TestDeltaConservationAcrossMatrix(t *testing.T) {
 	if testing.Short() {
 		t.Skip("27-run matrix in -short mode")
 	}
-	runs := deltaMatrixRuns(t)
+	for _, scheduler := range schedulerModes {
+		scheduler := scheduler
+		t.Run(scheduler, func(t *testing.T) {
+			testDeltaConservationAcrossMatrix(t, scheduler)
+		})
+	}
+}
+
+func testDeltaConservationAcrossMatrix(t *testing.T, scheduler string) {
+	runs := deltaMatrixRuns(t, scheduler)
 	for i, a := range runs {
 		for j, b := range runs {
 			e := delta.Compare(a, b)

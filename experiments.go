@@ -71,6 +71,10 @@ type FigureOptions struct {
 	// aggregated in sweep order, so the figure output is byte-identical
 	// whatever the worker count.
 	Jobs int
+	// Scheduler selects the engine scheduling strategy for every run
+	// (platform.SchedulerEvent or platform.SchedulerTick; "" = default).
+	// Both produce identical figures — CI diffs the two outputs.
+	Scheduler string
 }
 
 func (o FigureOptions) defaults() FigureOptions {
@@ -95,6 +99,7 @@ func figureSpec(s Scenario, sol Solution, execTime, lines int, o FigureOptions) 
 			Timing:     o.Timing,
 			Verify:     o.Verify,
 			Audit:      o.Audit,
+			Scheduler:  o.Scheduler,
 			Params: Params{
 				Lines:      lines,
 				ExecTime:   execTime,
@@ -218,6 +223,7 @@ func Figure8(penalties []int, opts FigureOptions) ([]PenaltyPoint, error) {
 							Timing:     memory.ScaledTiming(pen),
 							Verify:     o.Verify,
 							Audit:      o.Audit,
+							Scheduler:  o.Scheduler,
 							Params: Params{
 								Lines:      lines,
 								ExecTime:   1,

@@ -105,6 +105,10 @@ type Config struct {
 	// critical-path attribution lands in Result.CriticalPath (pair with
 	// Profile for stall links and the ledger cross-check).
 	Spans bool
+	// Scheduler selects the engine scheduling strategy:
+	// platform.SchedulerEvent (the default) or platform.SchedulerTick.
+	// Both produce byte-identical reports and digests (DESIGN.md §8).
+	Scheduler string
 	// MaxCycles bounds the run (default 50M engine cycles).
 	MaxCycles uint64
 }
@@ -152,6 +156,7 @@ func Build(cfg Config) (*platform.Platform, error) {
 		EventLog:        cfg.EventLog,
 		Profile:         cfg.Profile,
 		Spans:           cfg.Spans,
+		Scheduler:       cfg.Scheduler,
 	})
 	if err != nil {
 		return nil, err

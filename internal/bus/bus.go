@@ -29,6 +29,7 @@ import (
 	"hetcc/internal/event"
 	"hetcc/internal/memory"
 	"hetcc/internal/metrics"
+	"hetcc/internal/sim"
 	"hetcc/internal/trace"
 )
 
@@ -325,6 +326,13 @@ type Bus struct {
 	// nil-safe coherence event sink (see SetEvents)
 	events *event.Sink
 
+	// event-scheduler binding (see BindScheduler): sched wakes the bus when
+	// work is submitted, clock reads the engine cycle for lazy edge sync, div
+	// is the bus clock divisor.  All nil/zero under the tick scheduler.
+	sched *sim.Handle
+	clock func() uint64
+	div   uint64
+
 	stats Stats
 }
 
@@ -428,14 +436,124 @@ func (b *Bus) OnDeadlock(f func()) { b.onDeadlock = f }
 func (b *Bus) Deadlocked() bool { return b.deadlock }
 
 // Stats returns a copy of the accumulated counters.
-func (b *Bus) Stats() Stats { return b.stats }
+func (b *Bus) Stats() Stats {
+	b.syncExternal()
+	return b.stats
+}
 
 // Timing returns the memory timing in force.
 func (b *Bus) Timing() memory.Timing { return b.cfg.Timing }
 
 // Cycle reports the number of bus cycles elapsed (the bus-local clock; the
 // cache controllers use it to timestamp miss latencies).
-func (b *Bus) Cycle() uint64 { return b.cycle }
+func (b *Bus) Cycle() uint64 {
+	b.syncExternal()
+	return b.cycle
+}
+
+// BindScheduler attaches the bus to the engine's event scheduler: h is the
+// bus's registration handle (Submit wakes the bus through it) and clock
+// reads the current engine cycle.  Call it only when the event scheduler is
+// in force; an unbound bus behaves exactly as before.
+func (b *Bus) BindScheduler(h *sim.Handle, clock func() uint64) {
+	b.sched = h
+	b.clock = clock
+	b.div = h.Div()
+}
+
+// syncExternal brings the bus-cycle counter current for a reader outside
+// the bus's own tick: every bus edge strictly before the current engine
+// cycle is applied.  Readers positioned after the bus in the engine's
+// registration order additionally see the current cycle's edge through the
+// scheduler's positional CatchUp, so both read disciplines match tick mode.
+func (b *Bus) syncExternal() {
+	if b.clock == nil {
+		return
+	}
+	if now := b.clock(); now > 0 {
+		b.sync(now - 1)
+	}
+}
+
+// sync bulk-applies every bus clock edge at engine cycles <= x.  Skipped
+// edges are, by scheduling invariant, pure bookkeeping: while busy (and not
+// pipelined) each one decrements the data-phase counter without reaching
+// zero — the engine always ticks the bus for real at its completion edge —
+// and while idle each one would only have found no grantable master.
+func (b *Bus) sync(x uint64) {
+	if x < b.cycle*b.div {
+		return // no unapplied edge at or before x; skips the division
+	}
+	target := x/b.div + 1 // bus edges lie at 0, div, 2*div, ...
+	if target <= b.cycle {
+		return
+	}
+	k := target - b.cycle
+	b.cycle = target
+	if b.busy {
+		if b.cfg.Pipelined || uint64(b.remaining) <= k {
+			panic("bus: event-mode sync crossed a tenure boundary")
+		}
+		b.stats.BusyCycles += k
+		b.remaining -= int(k)
+		return
+	}
+	b.stats.IdleCycles += k
+}
+
+// CatchUp implements sim.CatchUpper: apply every bus edge <= through.
+func (b *Bus) CatchUp(through uint64) {
+	if b.clock != nil {
+		b.sync(through)
+	}
+}
+
+// NextWake implements sim.Waker.  A busy non-pipelined bus needs its next
+// real tick only at the data phase's completion edge; a pipelined bus
+// overlaps arbitration with data and is never skipped (ablation mode).  An
+// idle bus with queued work sleeps until the earliest retry back-off
+// expires; an idle bus with empty queues is dormant until a Submit wakes
+// it.
+func (b *Bus) NextWake(now uint64) (uint64, bool) {
+	if b.busy {
+		if b.cfg.Pipelined {
+			return now + b.div, true
+		}
+		return now + uint64(b.remaining)*b.div, true
+	}
+	var earliest uint64
+	any := false
+	for _, m := range b.masters {
+		if m.queue.len() == 0 {
+			continue
+		}
+		if !any || m.holdUntil < earliest {
+			earliest = m.holdUntil
+			any = true
+		}
+	}
+	if !any {
+		return 0, false
+	}
+	if earliest <= b.cycle+1 {
+		return now + b.div, true // a master is grantable at the next edge
+	}
+	// The tick whose post-increment bus cycle reaches `earliest` happens at
+	// engine cycle (earliest-1)*div.
+	at := (earliest - 1) * b.div
+	if at <= now {
+		at = now + b.div
+	}
+	return at, true
+}
+
+// wakeSched asks the scheduler for a tick at the earliest feasible bus edge
+// (no-op in tick mode).
+func (b *Bus) wakeSched() {
+	if b.sched != nil {
+		b.sched.Wake(b.sched.Now())
+	}
+}
 
 // SetMetrics attaches the bus to a metrics registry.  A nil registry (or
 // never calling SetMetrics) leaves the instruments nil, and recording into
@@ -459,11 +577,13 @@ func (b *Bus) Submit(t *Transaction, done func(Result)) {
 	if t.Master < 0 || t.Master >= len(b.masters) {
 		panic(fmt.Sprintf("bus: submit from unknown master %d", t.Master))
 	}
+	b.syncExternal() // the skipped edges preceded this submission
 	t.submitCycle = b.cycle
 	b.txnSeq++
 	t.id = b.txnSeq
 	b.events.BusRequest(t.Master, uint8(t.Kind), t.Addr, t.id)
 	b.masters[t.Master].queue.pushBack(pending{txn: t, done: done})
+	b.wakeSched()
 }
 
 // SubmitFlush queues a snoop-triggered write-back for master id.  It is
@@ -473,6 +593,7 @@ func (b *Bus) Submit(t *Transaction, done func(Result)) {
 // PowerPC 60x ordering the paper describes).
 func (b *Bus) SubmitFlush(t *Transaction, done func(Result)) {
 	m := b.masters[t.Master]
+	b.syncExternal() // the skipped edges preceded this submission
 	t.submitCycle = b.cycle
 	b.txnSeq++
 	t.id = b.txnSeq
@@ -482,6 +603,7 @@ func (b *Bus) SubmitFlush(t *Transaction, done func(Result)) {
 		idx++
 	}
 	m.queue.insertAt(idx, pending{txn: t, done: done})
+	b.wakeSched()
 }
 
 // QueueLen reports the number of requests pending for master id.
@@ -502,6 +624,9 @@ func (b *Bus) Idle() bool {
 
 // Tick advances the bus by one bus cycle.
 func (b *Bus) Tick(now uint64) {
+	if b.clock != nil && now > 0 {
+		b.sync(now - 1) // bulk-apply any skipped edges before this one
+	}
 	b.cycle++
 	if b.busy {
 		b.stats.BusyCycles++

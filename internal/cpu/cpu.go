@@ -26,6 +26,7 @@ import (
 	"hetcc/internal/lock"
 	"hetcc/internal/metrics"
 	"hetcc/internal/profile"
+	"hetcc/internal/sim"
 	"hetcc/internal/snooplogic"
 )
 
@@ -160,6 +161,13 @@ type CPU struct {
 	prof       *profile.Ledger
 	wasStalled bool
 
+	// handle is the core's event-scheduler registration (nil under the tick
+	// scheduler; see BindScheduler).  lastTicked is the engine cycle of the
+	// last local clock edge the core has accounted for — catchUp bulk-applies
+	// the skipped edges between lastTicked and the next real tick.
+	handle     *sim.Handle
+	lastTicked uint64
+
 	// Reusable completion state for the (single) outstanding memory
 	// operation, plus the prebound callbacks — the core is stalled until the
 	// callback fires, so per-access closure allocation would be pure
@@ -213,6 +221,11 @@ func (c *CPU) SetProfile(l *profile.Ledger) { c.prof = l }
 // engine when every core has retired its program.
 func (c *CPU) OnHalt(f func(id int)) { c.onHalt = f }
 
+// BindScheduler attaches the core to the engine's event scheduler.  The
+// platform calls it only when the event scheduler is in force; an unbound
+// core behaves exactly as before.
+func (c *CPU) BindScheduler(h *sim.Handle) { c.handle = h }
+
 // LoadProgram installs (and validates) the core's program.
 func (c *CPU) LoadProgram(p isa.Program) error {
 	if err := p.Validate(); err != nil {
@@ -264,10 +277,21 @@ func (c *CPU) InISR() bool { return c.isr != isrIdle }
 func (c *CPU) RaiseFIQ(lineBase uint32) {
 	c.stats.FIQsRaised++
 	c.fiqs = append(c.fiqs, fiqEntry{base: lineBase})
+	// Event scheduler: force a tick at the core's next clock edge so the
+	// entry is stamped there, exactly when a tick-mode core would sample the
+	// nFIQ wire — even a stalled core samples it (the stamp fixes readyAt;
+	// taking the interrupt still waits for the stall to clear).
+	if c.handle != nil {
+		c.handle.Wake(c.handle.Now())
+	}
 }
 
 // Tick advances the core by one CPU cycle.
 func (c *CPU) Tick(now uint64) {
+	if c.handle != nil && now > 0 {
+		c.catchUp(now - 1) // bulk-apply any skipped edges; this tick handles edge now
+	}
+	c.lastTicked = now
 	c.lastNow = now
 	// Stamp newly raised FIQs with their response horizon.
 	for i := c.fiqHead; i < len(c.fiqs); i++ {
@@ -328,6 +352,137 @@ func (c *CPU) Tick(now uint64) {
 	c.execute(now, c.prog[c.pc])
 }
 
+// catchUp bulk-applies every skipped local clock edge in (lastTicked,
+// through] — edges on which a tick-mode core would only have burned a
+// stalled, delayed, ISR-delay or idle cycle.  The scheduler guarantees the
+// range never crosses an edge with real work (instruction execution, a ripe
+// interrupt, an ISR step): NextWake always bounds the sleep by the earliest
+// such edge, so any other state here is a scheduler bug and panics rather
+// than silently diverging from tick mode.
+func (c *CPU) catchUp(through uint64) {
+	div := c.cfg.ClockDiv
+	if through < c.lastTicked+div {
+		return // no skipped edge in (lastTicked, through]; skips the modulo
+	}
+	e := through - through%div
+	if e <= c.lastTicked {
+		return
+	}
+	k := e - c.lastTicked
+	k /= div
+	switch {
+	case c.state == stateStalled:
+		c.stats.StallCycles += k
+		c.wasStalled = true
+		c.prof.StallTick(c.id, e) // lazy ledger: flushes every edge through e
+	case c.isr != isrIdle:
+		if uint64(c.delay) < k {
+			panic("cpu: event catch-up overran an ISR delay")
+		}
+		c.delay -= int(k)
+		c.stats.DelayCycles += k
+		c.stats.ISRCycles += k
+	case c.halted:
+		// Idle edges; a pending interrupt wake bounds the range.
+	case c.delay > 0:
+		if uint64(c.delay) < k {
+			panic("cpu: event catch-up overran a delay sleep")
+		}
+		c.delay -= int(k)
+		c.stats.DelayCycles += k
+	default:
+		panic("cpu: event catch-up crossed an execute edge")
+	}
+	c.lastTicked = e
+	c.lastNow = e
+}
+
+// CatchUp implements sim.CatchUpper.
+func (c *CPU) CatchUp(through uint64) {
+	if c.handle != nil {
+		c.catchUp(through)
+	}
+}
+
+// NextWake implements sim.Waker, mirroring Tick's branch priority: a
+// stalled core is dormant until a completion callback wakes it; an ISR
+// ignores further interrupts; a delayed or halted core sleeps to the
+// earlier of its delay expiry and the head interrupt's response horizon;
+// a running core executes at every edge.
+func (c *CPU) NextWake(now uint64) (uint64, bool) {
+	if c.state == stateStalled {
+		return 0, false
+	}
+	div := c.cfg.ClockDiv
+	// Earliest edge the head pending interrupt could be taken at.  Entries
+	// are stamped by the tick that just ran, so readyAt is valid; a defensive
+	// next-edge wake covers an unstamped entry anyway.
+	var fiqAt uint64
+	hasFiq := c.fiqHead < len(c.fiqs)
+	if hasFiq {
+		f := &c.fiqs[c.fiqHead]
+		fiqAt = now + div
+		if f.stamped && f.readyAt > fiqAt {
+			fiqAt = f.readyAt
+			if rem := fiqAt % div; rem != 0 {
+				fiqAt += div - rem
+			}
+		}
+	}
+	if c.isr != isrIdle {
+		if c.delay > 0 {
+			return now + (uint64(c.delay)+1)*div, true
+		}
+		return now + div, true
+	}
+	if c.delay > 0 {
+		at := now + (uint64(c.delay)+1)*div
+		if hasFiq && fiqAt < at {
+			at = fiqAt
+		}
+		return at, true
+	}
+	if c.halted {
+		if hasFiq {
+			return fiqAt, true
+		}
+		return 0, false
+	}
+	return now + div, true
+}
+
+// syncUnstall accounts the stalled edges up to the current engine cycle
+// before a completion callback mutates the core's state.  In tick mode the
+// bus callback fires after the cycle's CPU edge, so that edge is included;
+// it then disarms the lazy stall ledger so bus events between now and the
+// core's next tick stop attributing stall edges (the core is no longer
+// stalled).  No-op in tick mode or when called synchronously from the
+// core's own tick.
+func (c *CPU) syncUnstall() {
+	if c.handle == nil {
+		return
+	}
+	c.catchUp(c.handle.Now())
+	c.prof.Disarm(c.id)
+}
+
+// wakeNext schedules the core's next local clock edge after a completion
+// callback unblocked it (no-op in tick mode).
+func (c *CPU) wakeNext() {
+	if c.handle != nil {
+		c.handle.Wake(c.handle.Now() + 1)
+	}
+}
+
+// armStall switches the stall ledger to lazy bulk attribution for the
+// stall episode that begins at now (event scheduler only; in tick mode the
+// ledger keeps its per-cycle StallTick path).
+func (c *CPU) armStall(now uint64) {
+	if c.handle != nil {
+		c.prof.Arm(c.id, now, c.cfg.ClockDiv)
+	}
+}
+
 func (c *CPU) halt(now uint64) {
 	if c.halted {
 		return
@@ -363,6 +518,7 @@ func (c *CPU) stepISR(now uint64) {
 		case cache.Pending:
 			c.state = stateStalled
 			c.prof.StallDrain(c.id)
+			c.armStall(now)
 		case cache.Busy:
 			c.stats.BusyRetries++
 		}
@@ -400,6 +556,7 @@ func (c *CPU) execute(now uint64, op isa.Op) {
 		case cache.Pending:
 			c.state = stateStalled
 			c.prof.StallDrain(c.id)
+			c.armStall(now)
 		case cache.Busy:
 			c.stats.BusyRetries++
 		}
@@ -435,6 +592,7 @@ func (c *CPU) waitEq(now uint64, addr, val uint32) {
 		case cache.Pending:
 			c.state = stateStalled
 			c.prof.StallLock(c.id)
+			c.armStall(now)
 		case cache.Busy:
 			c.stats.BusyRetries++
 		}
@@ -447,17 +605,21 @@ func (c *CPU) waitEq(now uint64, addr, val uint32) {
 	}
 	c.state = stateStalled
 	c.prof.StallLock(c.id)
+	c.armStall(now)
 }
 
 // waitEqDone resolves one WaitEq poll: retire on a match, otherwise back off
 // and poll again.
 func (c *CPU) waitEqDone(rv uint32) {
+	c.syncUnstall()
 	c.state = stateRun
 	if rv == c.waitVal {
 		c.retire()
+		c.wakeNext()
 		return
 	}
 	c.delay = 4 + c.cfg.AccessOverhead // poll back-off; pc unchanged
+	c.wakeNext()
 }
 
 // noteClean informs the core's snoop logic that a line left the cache
@@ -487,6 +649,7 @@ func (c *CPU) memAccess(now uint64, write bool, addr, val uint32) {
 		case cache.Pending:
 			c.state = stateStalled
 			c.prof.StallAccess(c.id)
+			c.armStall(now)
 		case cache.Busy:
 			c.stats.BusyRetries++
 		}
@@ -503,29 +666,36 @@ func (c *CPU) memAccess(now uint64, write bool, addr, val uint32) {
 	}
 	c.state = stateStalled
 	c.prof.StallAccess(c.id)
+	c.armStall(now)
 }
 
 // accessDone retires the outstanding load/store once the memory system
 // answers.
 func (c *CPU) accessDone(rv uint32) {
+	c.syncUnstall()
 	c.noteAccess(c.accWrite, c.accAddr, c.accVal, rv, c.lastNow)
 	c.state = stateRun
 	c.delay = c.cfg.AccessOverhead
 	c.retire()
+	c.wakeNext()
 }
 
 // cleanDone retires an explicit CleanLine op whose drain went to the bus.
 func (c *CPU) cleanDone() {
+	c.syncUnstall()
 	c.state = stateRun
 	c.delay = c.cfg.CacheOpOverhead
 	c.retire()
+	c.wakeNext()
 }
 
 // isrCleanDone advances the ISR to its exit phase after the drain completes.
 func (c *CPU) isrCleanDone() {
+	c.syncUnstall()
 	c.state = stateRun
 	c.isr = isrExit
 	c.delay = c.cfg.ISRExit
+	c.wakeNext()
 }
 
 func (c *CPU) noteAccess(write bool, addr, val, readVal uint32, now uint64) {
@@ -600,6 +770,7 @@ func (c *CPU) stepLock(now uint64, release bool, lockID int) {
 		}
 		c.state = stateStalled
 		c.prof.StallLock(c.id)
+		c.armStall(now)
 	case lock.ReadCached, lock.WriteCached:
 		write := op.Kind == lock.WriteCached
 		status, v := c.ctl.Access(write, op.Addr, op.Val, c.lockOpDoneFn)
@@ -610,6 +781,7 @@ func (c *CPU) stepLock(now uint64, release bool, lockID int) {
 		case cache.Pending:
 			c.state = stateStalled
 			c.prof.StallLock(c.id)
+			c.armStall(now)
 		case cache.Busy:
 			c.stats.BusyRetries++
 			c.stats.LockOps--
@@ -622,7 +794,9 @@ func (c *CPU) stepLock(now uint64, release bool, lockID int) {
 // lockOpDone records the answer to the lock stepper's outstanding memory
 // operation; the next stepLock call feeds it back into the stepper.
 func (c *CPU) lockOpDone(v uint32) {
+	c.syncUnstall()
 	c.lockLast = v
 	c.lockHasPending = false
 	c.state = stateRun
+	c.wakeNext()
 }

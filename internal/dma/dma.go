@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"hetcc/internal/bus"
+	"hetcc/internal/sim"
 )
 
 // Register offsets.
@@ -76,6 +77,10 @@ type Engine struct {
 	LinesCopied uint64
 	// Transfers counts completed full transfers.
 	Transfers uint64
+
+	// sched is the engine's event-scheduler registration (nil under the
+	// tick scheduler; see BindScheduler).
+	sched *sim.Handle
 }
 
 var _ bus.Device = (*Engine)(nil)
@@ -103,6 +108,31 @@ func (e *Engine) MasterID() int { return e.master }
 
 // Busy reports an in-progress transfer.
 func (e *Engine) Busy() bool { return e.status&StatusBusy != 0 }
+
+// BindScheduler attaches the engine to the event scheduler.  The platform
+// calls it only when the event scheduler is in force.
+func (e *Engine) BindScheduler(h *sim.Handle) { e.sched = h }
+
+// NextWake implements sim.Waker: the engine needs a tick only while it has
+// a transfer in progress with no bus transaction in flight (the tick
+// submits the next line read or write).  Otherwise it sleeps until a
+// register write starts a transfer or a bus callback advances the phase.
+func (e *Engine) NextWake(now uint64) (uint64, bool) {
+	if e.Busy() && !e.pending {
+		return now + e.sched.Div(), true
+	}
+	return 0, false
+}
+
+// wake requests a tick at the engine's next feasible clock edge — the
+// current cycle when the DMA engine has not been evaluated yet this pass
+// (it registers after the bus, so a bus-callback wake lands on the same
+// cycle, exactly when a tick-mode engine would have acted).
+func (e *Engine) wake() {
+	if e.sched != nil {
+		e.sched.Wake(e.sched.Now())
+	}
+}
 
 // Contains implements bus.Device.
 func (e *Engine) Contains(addr uint32) bool {
@@ -168,6 +198,7 @@ func (e *Engine) start() {
 	e.ph = reading
 	e.offset = 0
 	e.pending = false
+	e.wake()
 }
 
 // Tick implements sim.Ticker: drive one line transfer at a time through
@@ -208,6 +239,7 @@ func (e *Engine) readDone(res bus.Result) {
 	copy(e.lineBuf, res.Data) // fill buffers are pooled; snapshot before return
 	e.pending = false
 	e.ph = writing
+	e.wake()
 }
 
 func (e *Engine) writeDone(bus.Result) {
@@ -221,4 +253,5 @@ func (e *Engine) writeDone(bus.Result) {
 	} else {
 		e.ph = reading
 	}
+	e.wake()
 }

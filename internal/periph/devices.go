@@ -19,6 +19,14 @@ type Timer struct {
 	count   uint32
 	ctrl    uint32
 	compare uint32
+
+	// Event-scheduler support (see SetEventClock): instead of being ticked
+	// on every peripheral-clock edge, the timer counts its skipped edges in
+	// bulk whenever the count could be observed.  edgesSeen is the number of
+	// peripheral-clock edges already applied; div the engine-cycle divisor.
+	clock     func() uint64
+	div       uint64
+	edgesSeen uint64
 }
 
 // NewTimer returns a disabled timer.
@@ -30,15 +38,69 @@ func (t *Timer) Name() string { return "timer" }
 // Size implements Device.
 func (t *Timer) Size() uint32 { return 12 }
 
+// SetEventClock switches the timer to lazy edge accounting for the event
+// scheduler: clock reads the current engine cycle and div is the timer's
+// engine-cycle divisor.  Leave it unset under the tick scheduler.
+func (t *Timer) SetEventClock(clock func() uint64, div uint64) {
+	t.clock = clock
+	t.div = div
+}
+
 // Tick advances the counter when enabled (platform clock callback).
-func (t *Timer) Tick(uint64) {
+func (t *Timer) Tick(now uint64) {
+	if t.clock != nil {
+		t.syncEdges(now)
+		return
+	}
 	if t.ctrl&1 != 0 {
 		t.count++
 	}
 }
 
+// NextWake implements sim.Waker: the timer never needs a tick of its own —
+// every skipped edge is reconstructed on demand.
+func (t *Timer) NextWake(uint64) (uint64, bool) { return 0, false }
+
+// CatchUp implements sim.CatchUpper: apply every peripheral-clock edge at
+// engine cycles <= through.
+func (t *Timer) CatchUp(through uint64) {
+	if t.clock != nil {
+		t.syncEdges(through)
+	}
+}
+
+// syncEdges bulk-applies the peripheral-clock edges at engine cycles <= x
+// that have not been counted yet.
+func (t *Timer) syncEdges(x uint64) {
+	if x < t.edgesSeen*t.div {
+		return // no uncounted edge at or before x; skips the division
+	}
+	target := x/t.div + 1 // edges lie at 0, div, 2*div, ...
+	if target <= t.edgesSeen {
+		return
+	}
+	if t.ctrl&1 != 0 {
+		t.count += uint32(target - t.edgesSeen)
+	}
+	t.edgesSeen = target
+}
+
+// syncExternal brings the counter current for a register access: the bus
+// delivers the access before the timer's own edge on the same engine cycle
+// (the timer registers after the bus), so only edges on earlier cycles are
+// applied.
+func (t *Timer) syncExternal() {
+	if t.clock == nil {
+		return
+	}
+	if x := t.clock(); x > 0 {
+		t.syncEdges(x - 1)
+	}
+}
+
 // ReadReg implements Device.
 func (t *Timer) ReadReg(off uint32) uint32 {
+	t.syncExternal()
 	switch off {
 	case TimerCount:
 		return t.count
@@ -53,6 +115,7 @@ func (t *Timer) ReadReg(off uint32) uint32 {
 
 // WriteReg implements Device.
 func (t *Timer) WriteReg(off uint32, v uint32) {
+	t.syncExternal() // the skipped edges counted under the old ctrl value
 	switch off {
 	case TimerCtrl:
 		if v&2 != 0 {

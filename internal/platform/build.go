@@ -97,6 +97,11 @@ func Build(cfg Config) (*Platform, error) {
 	if cfg.BusClockDiv == 0 {
 		cfg.BusClockDiv = 2
 	}
+	switch cfg.Scheduler {
+	case "", SchedulerEvent, SchedulerTick:
+	default:
+		return nil, fmt.Errorf("platform: unknown scheduler %q (want %q or %q)", cfg.Scheduler, SchedulerTick, SchedulerEvent)
+	}
 	if cfg.Timing == (memory.Timing{}) {
 		cfg.Timing = memory.DefaultTiming()
 	}
@@ -375,15 +380,19 @@ func Build(cfg Config) (*Platform, error) {
 	})
 
 	// Tick order: cores in platform order, then the bus, then the optional
-	// waveform probe.  The order is fixed so runs are reproducible.
+	// waveform probe.  The order is fixed so runs are reproducible; under
+	// the event scheduler the same order breaks same-cycle wake ties.
+	cpuHandles := make([]*sim.Handle, len(p.CPUs))
 	for i, c := range p.CPUs {
-		engine.Register(fmt.Sprintf("cpu%d:%s", i, c.Name()), cfg.Processors[i].ClockDiv, c)
+		cpuHandles[i] = engine.Register(fmt.Sprintf("cpu%d:%s", i, c.Name()), cfg.Processors[i].ClockDiv, c)
 	}
-	engine.Register("bus", cfg.BusClockDiv, sim.TickFunc(b.Tick))
+	busHandle := engine.Register("bus", cfg.BusClockDiv, b)
 	// The peripheral clock runs at half the bus clock.
-	engine.Register("timer", cfg.BusClockDiv*2, sim.TickFunc(p.Timer.Tick))
+	timerDiv := cfg.BusClockDiv * 2
+	engine.Register("timer", timerDiv, p.Timer)
+	var dmaHandle *sim.Handle
 	if p.DMA != nil {
-		engine.Register("dma", cfg.BusClockDiv, p.DMA)
+		dmaHandle = engine.Register("dma", cfg.BusClockDiv, p.DMA)
 	}
 	if p.Metrics != nil {
 		window := cfg.MetricsWindow
@@ -422,6 +431,22 @@ func Build(cfg Config) (*Platform, error) {
 		}
 		p.vcd = probe
 		engine.Register("vcd", 1, probe)
+	}
+
+	// Scheduler selection (DESIGN.md §8).  The event scheduler is the
+	// default; a VCD probe forces tick mode because the waveform samples
+	// per-cycle state that bulk catch-up does not replay edge by edge.
+	if cfg.Scheduler != SchedulerTick && cfg.VCD == nil {
+		for i, c := range p.CPUs {
+			c.BindScheduler(cpuHandles[i])
+		}
+		b.BindScheduler(busHandle, engine.Now)
+		p.Timer.SetEventClock(engine.Now, timerDiv)
+		if p.DMA != nil {
+			p.DMA.BindScheduler(dmaHandle)
+		}
+		p.profiler.SetClock(engine.Now)
+		engine.UseEventScheduler()
 	}
 
 	return p, nil

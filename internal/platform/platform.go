@@ -253,6 +253,17 @@ func armSecond() ProcessorSpec {
 	return s
 }
 
+// Config.Scheduler values.
+const (
+	// SchedulerEvent is the default engine scheduler: Run jumps from one
+	// actionable cycle edge to the next, fast-forwarding idle components
+	// (DESIGN.md §8).
+	SchedulerEvent = "event"
+	// SchedulerTick is the reference semantics: every component is ticked
+	// at every one of its local clock edges.
+	SchedulerTick = "tick"
+)
+
 // Config assembles a platform.
 type Config struct {
 	// Processors lists the cores in bus-priority order.
@@ -325,6 +336,13 @@ type Config struct {
 	// bus and core activity (one timestep per engine cycle = 10 ns at the
 	// paper's clocking), viewable in GTKWave.
 	VCD io.Writer
+	// Scheduler selects the engine scheduling strategy: "event" (default)
+	// jumps from one actionable cycle edge to the next, "tick" evaluates
+	// every component on every one of its clock edges.  Both produce
+	// byte-identical reports and digests (DESIGN.md §8); "tick" exists as
+	// the reference semantics and equivalence baseline.  A VCD probe forces
+	// "tick" — the waveform needs per-cycle state.
+	Scheduler string
 }
 
 // LockChoice configures the lock subsystem.

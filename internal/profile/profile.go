@@ -15,7 +15,7 @@
 //     back-off, drain wait, data phase — refining memory-access stalls into
 //     the paper's cost components.
 //
-// The conservation invariant (DESIGN.md §9) is the load-bearing correctness
+// The conservation invariant (DESIGN.md §7c) is the load-bearing correctness
 // rule: for every core, the sum of attributed causes equals StallCycles
 // exactly.  A cycle the ledger cannot classify lands in CauseOther rather
 // than disappearing, so the invariant holds even if a new stall source is
@@ -33,7 +33,7 @@ import (
 	"hetcc/internal/event"
 )
 
-// Cause enumerates the exclusive stall causes of the taxonomy (DESIGN.md §9).
+// Cause enumerates the exclusive stall causes of the taxonomy (DESIGN.md §7c).
 type Cause uint8
 
 const (
@@ -145,6 +145,15 @@ type coreState struct {
 
 	counts [causeCount]uint64
 
+	// Lazy (event-scheduler) accounting: while armed, stalled CPU edges are
+	// attributed in bulk at each state-mutation point instead of one call per
+	// stalled tick.  lastEdge is the engine cycle of the last attributed
+	// edge, div the core's clock divisor.  Never set under the tick
+	// scheduler, where StallTick keeps its per-cycle legacy path.
+	lazy     bool
+	lastEdge uint64
+	div      uint64
+
 	spanOpen  bool
 	spanCause Cause
 	spanStart uint64
@@ -158,6 +167,19 @@ type Ledger struct {
 	spans        []Span
 	maxSpans     int
 	droppedSpans uint64
+
+	// clock reads the current engine cycle (event scheduler only; see
+	// SetClock).  NoteInvalMiss uses it to flush an armed core's pending
+	// stall edges before mutating the state those edges resolve against.
+	clock func() uint64
+}
+
+// SetClock gives the ledger engine-clock access for lazy (event-scheduler)
+// stall attribution.  Leave it unset under the tick scheduler.
+func (l *Ledger) SetClock(clock func() uint64) {
+	if l != nil {
+		l.clock = clock
+	}
 }
 
 // NewLedger creates a ledger for cores CPU cores (bus masters 0..cores-1;
@@ -187,6 +209,10 @@ func (l *Ledger) HandleEvent(r *event.Record) {
 	if cs == nil {
 		return
 	}
+	// Lazy mode: the stalled edges up to and including this event's cycle
+	// resolved against the phase state as it was *before* this event (the
+	// tick-mode CPU ticks before the bus each cycle), so flush them first.
+	l.flushThrough(r.Core, cs, r.Cycle)
 	switch r.Kind {
 	case event.BusRequest:
 		cs.queued++
@@ -254,7 +280,59 @@ func (l *Ledger) StallEnd(core int) {
 		l.closeSpan(core, cs)
 		cs.class = classNone
 		cs.inval, cs.pendingInval = false, false
+		cs.lazy = false
 	}
+}
+
+// Arm switches core to lazy (event-scheduler) stall attribution for the
+// episode that just began: now is the engine cycle of the instruction that
+// stalled (its first stalled edge is now+div).  The CPU arms the ledger at
+// every stall site when the event scheduler is in force; under the tick
+// scheduler it never calls Arm and StallTick keeps its per-cycle path.
+func (l *Ledger) Arm(core int, now, div uint64) {
+	if cs := l.core(core); cs != nil {
+		cs.lazy = true
+		cs.lastEdge = now
+		cs.div = div
+	}
+}
+
+// Disarm ends lazy attribution for core without closing the stall episode
+// (StallEnd still runs at the CPU's next tick, exactly as in tick mode).
+// The CPU calls it when a completion callback unstalls the core, so bus
+// events between the unstall and the core's next tick no longer attribute
+// edges the CPU will not count.
+func (l *Ledger) Disarm(core int) {
+	if cs := l.core(core); cs != nil {
+		cs.lazy = false
+	}
+}
+
+// flushThrough attributes every stalled CPU edge in (lastEdge, through] to
+// the cause the core's *current* state resolves to.  Callers flush before
+// every mutation of that state, which is what makes bulk attribution
+// edge-exact: between two mutations the resolved cause is constant.
+func (l *Ledger) flushThrough(core int, cs *coreState, through uint64) {
+	if !cs.lazy {
+		return
+	}
+	last := through - through%cs.div
+	if last <= cs.lastEdge {
+		return
+	}
+	k := (last - cs.lastEdge) / cs.div
+	cause := cs.resolve()
+	cs.counts[cause] += k
+	if cs.spanOpen && cs.spanCause == cause {
+		cs.spanEnd = last + 1
+	} else {
+		l.closeSpan(core, cs)
+		cs.spanOpen = true
+		cs.spanCause = cause
+		cs.spanStart = cs.lastEdge + cs.div
+		cs.spanEnd = last + 1
+	}
+	cs.lastEdge = last
 }
 
 // NoteInvalMiss flags the core's current (or imminent) memory-access stall
@@ -263,6 +341,9 @@ func (l *Ledger) StallEnd(core int) {
 // the core last held it.
 func (l *Ledger) NoteInvalMiss(core int) {
 	if cs := l.core(core); cs != nil {
+		if cs.lazy && l.clock != nil {
+			l.flushThrough(core, cs, l.clock())
+		}
 		if cs.class == classAccess {
 			cs.inval = true
 		} else {
@@ -309,6 +390,10 @@ func (cs *coreState) resolve() Cause {
 func (l *Ledger) StallTick(core int, now uint64) {
 	cs := l.core(core)
 	if cs == nil {
+		return
+	}
+	if cs.lazy {
+		l.flushThrough(core, cs, now)
 		return
 	}
 	cause := cs.resolve()

@@ -1,0 +1,311 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// wakerFunc is a Waker whose wake condition is supplied per test.
+type wakerFunc struct {
+	tick func(now uint64)
+	next func(now uint64) (uint64, bool)
+}
+
+func (w *wakerFunc) Tick(now uint64) { w.tick(now) }
+func (w *wakerFunc) NextWake(now uint64) (uint64, bool) {
+	if w.next == nil {
+		return 0, false
+	}
+	return w.next(now)
+}
+
+// lazyCounter models the Timer idiom: it never needs a tick of its own, and
+// bulk-applies skipped local edges (at cycles 0, div, 2*div, ...) whenever the
+// scheduler catches it up.
+type lazyCounter struct {
+	div   uint64
+	edges uint64 // number of local edges applied
+}
+
+func (c *lazyCounter) Tick(now uint64)                { c.sync(now) }
+func (c *lazyCounter) NextWake(uint64) (uint64, bool) { return 0, false }
+func (c *lazyCounter) CatchUp(through uint64)         { c.sync(through) }
+func (c *lazyCounter) sync(x uint64) {
+	if t := x/c.div + 1; t > c.edges {
+		c.edges = t
+	}
+}
+
+// TestEventTieBreakRegistrationOrder: wakes pending for the same cycle are
+// evaluated in registration order, so the intra-cycle order is exactly the
+// tick scheduler's.
+func TestEventTieBreakRegistrationOrder(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		w := &wakerFunc{}
+		w.tick = func(now uint64) { order = append(order, fmt.Sprintf("%s@%d", name, now)) }
+		w.next = func(now uint64) (uint64, bool) { return now + 3, true }
+		e.Register(name, 1, w)
+	}
+	e.UseEventScheduler()
+	if err := e.Run(7); !errors.Is(err, ErrMaxCycles) {
+		t.Fatalf("err = %v, want ErrMaxCycles", err)
+	}
+	want := []string{"a@0", "b@0", "c@0", "a@3", "b@3", "c@3", "a@6", "b@6", "c@6"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("evaluation order %v, want %v", order, want)
+	}
+}
+
+// TestEventWakeInThePast: a wake targeting a cycle that already passed
+// degrades to "tick me at my next feasible edge" — the current cycle if the
+// target has not been evaluated this pass, the next local edge otherwise.
+func TestEventWakeInThePast(t *testing.T) {
+	e := NewEngine()
+	var early, late []uint64
+
+	// Registered before the controller: by the time the controller runs at
+	// cycle 5, this component has been evaluated, so a past wake lands at 6.
+	target0 := &wakerFunc{tick: func(now uint64) { early = append(early, now) }}
+	h0 := e.Register("early", 1, target0)
+
+	var h2 *Handle
+	ctrl := &wakerFunc{next: func(now uint64) (uint64, bool) { return now + 5, true }}
+	ctrl.tick = func(now uint64) {
+		if now == 5 {
+			h0.Wake(1) // past, already evaluated this pass -> cycle 6
+			h2.Wake(1) // past, not yet evaluated this pass -> cycle 5
+		}
+	}
+	e.Register("ctrl", 1, ctrl)
+
+	target2 := &wakerFunc{tick: func(now uint64) { late = append(late, now) }}
+	h2 = e.Register("late", 1, target2)
+
+	e.UseEventScheduler()
+	if err := e.Run(20); !errors.Is(err, ErrMaxCycles) {
+		t.Fatalf("err = %v, want ErrMaxCycles", err)
+	}
+	if fmt.Sprint(early) != fmt.Sprint([]uint64{0, 6}) {
+		t.Fatalf("already-evaluated target ticked at %v, want [0 6]", early)
+	}
+	if fmt.Sprint(late) != fmt.Sprint([]uint64{0, 5}) {
+		t.Fatalf("not-yet-evaluated target ticked at %v, want [0 5]", late)
+	}
+}
+
+// TestEventDuplicateWakesKeepEarliest: re-waking a component tightens its
+// pending wake monotonically — a later wake never postpones an earlier one —
+// and wakes are rounded up to the component's local clock edge.
+func TestEventDuplicateWakesKeepEarliest(t *testing.T) {
+	e := NewEngine()
+	var ticks []uint64
+
+	// The controller issues the wakes at cycle 3, once the target's initial
+	// cycle-0 wake has been consumed and it sits dormant.
+	var hT *Handle
+	ctrl := &wakerFunc{next: func(now uint64) (uint64, bool) { return now + 3, true }}
+	ctrl.tick = func(now uint64) {
+		if now == 3 {
+			hT.Wake(20)
+			hT.Wake(30) // later than pending: ignored
+			hT.Wake(9)  // earlier: tightens, rounds up to the div=2 edge at 10
+		}
+	}
+	e.Register("ctrl", 1, ctrl)
+	target := &wakerFunc{tick: func(now uint64) { ticks = append(ticks, now) }}
+	hT = e.Register("target", 2, target)
+
+	e.UseEventScheduler()
+	if err := e.Run(100); !errors.Is(err, ErrMaxCycles) {
+		t.Fatalf("err = %v, want ErrMaxCycles", err)
+	}
+	if fmt.Sprint(ticks) != fmt.Sprint([]uint64{0, 10}) {
+		t.Fatalf("target ticked at %v, want [0 10] (earliest wake, edge-aligned)", ticks)
+	}
+}
+
+// TestEventFastForwardHugeCycles: divisor fast-forward stays exact at
+// wraparound-scale cycle counts — a dormant CatchUpper skipped across 2^40+
+// cycles in a handful of passes must account for exactly the edges a 2^40
+// tick-mode loop would have delivered.
+func TestEventFastForwardHugeCycles(t *testing.T) {
+	const stride = uint64(1) << 40
+	e := NewEngine()
+	driver := &wakerFunc{}
+	driver.tick = func(now uint64) {
+		if now >= 3*stride {
+			e.Stop("done", nil)
+		}
+	}
+	driver.next = func(now uint64) (uint64, bool) { return now + stride, true }
+	e.Register("driver", 1, driver)
+	counters := []*lazyCounter{{div: 1}, {div: 2}, {div: 4}, {div: 10000}}
+	for i, c := range counters {
+		e.Register(fmt.Sprintf("ctr%d", i), c.div, c)
+	}
+	e.UseEventScheduler()
+	if err := e.Run(1 << 50); err != nil {
+		t.Fatalf("err = %v, want nil (normal stop)", err)
+	}
+	stop := 3 * stride
+	if e.Now() != stop+1 {
+		t.Fatalf("stopped at %d, want %d", e.Now(), stop+1)
+	}
+	for _, c := range counters {
+		if want := stop/c.div + 1; c.edges != want {
+			t.Fatalf("div=%d counter saw %d edges, want %d", c.div, c.edges, want)
+		}
+	}
+}
+
+// TestEventBudgetExhaustionCatchesUp: when the budget runs out, skipped edges
+// through maxCycles-1 are bulk-applied so the final counters match a tick-mode
+// run of the same budget, and Now() lands exactly on the budget.
+func TestEventBudgetExhaustionCatchesUp(t *testing.T) {
+	e := NewEngine()
+	idle := &wakerFunc{tick: func(uint64) {}}
+	e.Register("idle", 1, idle) // dormant after cycle 0
+	c := &lazyCounter{div: 3}
+	e.Register("ctr", 3, c)
+	e.UseEventScheduler()
+	if err := e.Run(100); !errors.Is(err, ErrMaxCycles) {
+		t.Fatalf("err = %v, want ErrMaxCycles", err)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("ran %d cycles, want 100", e.Now())
+	}
+	if want := uint64(99)/3 + 1; c.edges != want {
+		t.Fatalf("counter saw %d edges, want %d", c.edges, want)
+	}
+}
+
+// TestEventStopMatchesTickSemantics pins the tick-mode ground truth under the
+// event scheduler: a stop requested during cycle 5 takes effect with Now()==6.
+func TestEventStopMatchesTickSemantics(t *testing.T) {
+	e := NewEngine()
+	sentinel := errors.New("done")
+	w := &wakerFunc{next: func(now uint64) (uint64, bool) { return now + 1, true }}
+	w.tick = func(now uint64) {
+		if now == 5 {
+			e.Stop("five", sentinel)
+		}
+	}
+	e.Register("stopper", 1, w)
+	e.UseEventScheduler()
+	if err := e.Run(1000); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if e.Now() != 6 {
+		t.Fatalf("stopped at %d, want 6", e.Now())
+	}
+}
+
+// periodic acts on every period-th local edge: the Waker/CatchUpper shape of
+// the CPU cores (long stretches of skippable edges punctuated by edges whose
+// effects are observable).  Both schedulers must record identical action
+// sequences and apply identical edge counts.
+type periodic struct {
+	div     uint64
+	period  uint64
+	applied uint64   // local edges applied (edge j lies at cycle j*div)
+	acts    []uint64 // cycles of the action edges, in order
+}
+
+func (p *periodic) applyThrough(cycle uint64) {
+	for j := p.applied; j <= cycle/p.div; j++ {
+		if j%p.period == 0 {
+			p.acts = append(p.acts, j*p.div)
+		}
+	}
+	if t := cycle/p.div + 1; t > p.applied {
+		p.applied = t
+	}
+}
+
+func (p *periodic) Tick(now uint64)        { p.applyThrough(now) }
+func (p *periodic) CatchUp(through uint64) { p.applyThrough(through) }
+func (p *periodic) NextWake(now uint64) (uint64, bool) {
+	next := ((p.applied + p.period - 1) / p.period) * p.period
+	return next * p.div, true
+}
+
+// TestEventTickEquivalenceProperty is the kernel-level equivalence property:
+// for random divisor/period mixes, an event-scheduled run and a tick-scheduled
+// run of the same budget produce identical action sequences and edge counts
+// for every component.
+func TestEventTickEquivalenceProperty(t *testing.T) {
+	f := func(d1, p1, d2, p2, budgetRaw uint8) bool {
+		mk := func() []*periodic {
+			return []*periodic{
+				{div: uint64(d1%6) + 1, period: uint64(p1%13) + 1},
+				{div: uint64(d2%6) + 1, period: uint64(p2%13) + 1},
+			}
+		}
+		budget := uint64(budgetRaw)%2000 + 1
+		run := func(comps []*periodic, event bool) {
+			e := NewEngine()
+			for i, c := range comps {
+				e.Register(fmt.Sprintf("p%d", i), c.div, c)
+			}
+			if event {
+				e.UseEventScheduler()
+			}
+			if err := e.Run(budget); !errors.Is(err, ErrMaxCycles) {
+				t.Fatalf("err = %v, want ErrMaxCycles", err)
+			}
+		}
+		tick, event := mk(), mk()
+		run(tick, false)
+		run(event, true)
+		for i := range tick {
+			if tick[i].applied != event[i].applied {
+				t.Logf("component %d: %d edges under tick, %d under event", i, tick[i].applied, event[i].applied)
+				return false
+			}
+			if fmt.Sprint(tick[i].acts) != fmt.Sprint(event[i].acts) {
+				t.Logf("component %d: acts %v under tick, %v under event", i, tick[i].acts, event[i].acts)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllocsScheduler pins the steady-state wake structure at zero
+// allocations: all allocation happens once in initEventState, and
+// schedule/popMin on a warmed heap never allocate (the `make allocs` gate).
+func TestAllocsScheduler(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 8; i++ {
+		w := &wakerFunc{tick: func(uint64) {}}
+		w.next = func(now uint64) (uint64, bool) { return now + 7, true }
+		e.Register(fmt.Sprintf("w%d", i), 1, w)
+	}
+	e.UseEventScheduler()
+	e.initEventState()
+	for len(e.heap) > 0 {
+		e.popMin()
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		base := e.now
+		for i := int32(0); i < 8; i++ {
+			e.schedule(i, base+uint64(13-i))
+		}
+		e.schedule(3, base+1) // tighten a pending wake
+		for len(e.heap) > 0 {
+			e.popMin()
+		}
+		e.now += 20
+	})
+	if avg != 0 {
+		t.Fatalf("schedule/pop steady state allocates %.1f times per run, want 0", avg)
+	}
+}

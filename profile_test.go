@@ -18,6 +18,11 @@ import (
 	"hetcc/internal/profile"
 )
 
+// schedulerModes: the conservation sweeps run under both engine scheduling
+// strategies — the lazy stall-ledger flushing the event scheduler relies on
+// must attribute exactly the same cycles as per-edge ticking.
+var schedulerModes = []string{platform.SchedulerEvent, platform.SchedulerTick}
+
 // checkConservation asserts the per-core cause sums equal StallCycles, both
 // in the summary's own arithmetic and against the CPU counters.
 func checkConservation(t *testing.T, res Result) {
@@ -60,27 +65,30 @@ func TestStallConservationProtocolMatrix(t *testing.T) {
 		coherence.MEI, coherence.MSI, coherence.MESI,
 		coherence.MOESI, coherence.Dragon, coherence.None,
 	}
-	for _, a := range kinds {
-		for _, b := range kinds {
-			a, b := a, b
-			t.Run(fmt.Sprintf("%v+%v", a, b), func(t *testing.T) {
-				if _, err := core.Reduce([]coherence.Kind{a, b}); err != nil {
-					t.Skipf("pair not reducible: %v", err)
-				}
-				res := MustRun(Config{
-					Scenario:   WCS,
-					Solution:   Proposed,
-					Processors: []platform.ProcessorSpec{specFor(a, 0), specFor(b, 1)},
-					Params:     Params{Lines: 8, ExecTime: 1, Iterations: 4, WordsPerLine: 8},
-					Verify:     true,
-					Profile:    true,
-					MaxCycles:  5_000_000,
+	for _, sched := range schedulerModes {
+		for _, a := range kinds {
+			for _, b := range kinds {
+				sched, a, b := sched, a, b
+				t.Run(fmt.Sprintf("%s/%v+%v", sched, a, b), func(t *testing.T) {
+					if _, err := core.Reduce([]coherence.Kind{a, b}); err != nil {
+						t.Skipf("pair not reducible: %v", err)
+					}
+					res := MustRun(Config{
+						Scenario:   WCS,
+						Solution:   Proposed,
+						Processors: []platform.ProcessorSpec{specFor(a, 0), specFor(b, 1)},
+						Params:     Params{Lines: 8, ExecTime: 1, Iterations: 4, WordsPerLine: 8},
+						Verify:     true,
+						Profile:    true,
+						Scheduler:  sched,
+						MaxCycles:  5_000_000,
+					})
+					if res.Err != nil {
+						t.Fatalf("run failed: %v (%s)", res.Err, res.StopReason)
+					}
+					checkConservation(t, res)
 				})
-				if res.Err != nil {
-					t.Fatalf("run failed: %v (%s)", res.Err, res.StopReason)
-				}
-				checkConservation(t, res)
-			})
+			}
 		}
 	}
 }
@@ -92,24 +100,27 @@ func TestStallConservationSolutionsAndLocks(t *testing.T) {
 	scenarios := []Scenario{WCS, TCS, BCS}
 	solutions := []Solution{CacheDisabled, Software, Proposed}
 	locks := []platform.LockKind{platform.LockUncachedTAS, platform.LockBakery, platform.LockHardwareRegister}
-	for _, sc := range scenarios {
-		for _, sol := range solutions {
-			for _, lk := range locks {
-				sc, sol, lk := sc, sol, lk
-				t.Run(fmt.Sprintf("%v/%v/%v", sc, sol, lk), func(t *testing.T) {
-					res := MustRun(Config{
-						Scenario: sc,
-						Solution: sol,
-						Params:   Params{Lines: 6, ExecTime: 1, Iterations: 3, WordsPerLine: 8},
-						Lock:     &platform.LockChoice{Kind: lk, Alternate: sc.Alternate(), SpinDelay: 4},
-						Verify:   true,
-						Profile:  true,
+	for _, sched := range schedulerModes {
+		for _, sc := range scenarios {
+			for _, sol := range solutions {
+				for _, lk := range locks {
+					sched, sc, sol, lk := sched, sc, sol, lk
+					t.Run(fmt.Sprintf("%s/%v/%v/%v", sched, sc, sol, lk), func(t *testing.T) {
+						res := MustRun(Config{
+							Scenario:  sc,
+							Solution:  sol,
+							Params:    Params{Lines: 6, ExecTime: 1, Iterations: 3, WordsPerLine: 8},
+							Lock:      &platform.LockChoice{Kind: lk, Alternate: sc.Alternate(), SpinDelay: 4},
+							Verify:    true,
+							Profile:   true,
+							Scheduler: sched,
+						})
+						if res.Err != nil {
+							t.Fatalf("run failed: %v (%s)", res.Err, res.StopReason)
+						}
+						checkConservation(t, res)
 					})
-					if res.Err != nil {
-						t.Fatalf("run failed: %v (%s)", res.Err, res.StopReason)
-					}
-					checkConservation(t, res)
-				})
+				}
 			}
 		}
 	}
