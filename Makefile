@@ -35,10 +35,10 @@ vet:
 
 # Alloc-regression suite: AllocsPerRun pins of the zero-garbage hot path
 # (bus tick, ARTRY storm, snoop broadcast, event emit, metrics records,
-# event-scheduler wake structure).  Any nonzero allocs/op in steady state
-# fails.
+# event-scheduler wake structure, sharing collector).  Any nonzero allocs/op
+# in steady state fails.
 allocs:
-	$(GO) test -run TestAllocs -v ./internal/bus ./internal/event ./internal/metrics ./internal/span ./internal/sim
+	$(GO) test -run TestAllocs -v ./internal/bus ./internal/event ./internal/metrics ./internal/span ./internal/sharing ./internal/sim
 
 # Simulated-cycle benchmark suite (cmd/bench): 27 deterministic runs whose
 # cycle counts are machine-independent.  `make bench` refreshes BENCH_dev.json;
@@ -85,6 +85,7 @@ lint:
 	fi
 
 # One-stop observability bundle: report + events + audit + chrome trace +
-# stall profile + span JSONL + critical-path explanation in ./observe/.
+# stall profile + span JSONL + sharing-pattern JSONL + critical-path
+# explanation in ./observe/.
 observe:
 	$(GO) run ./cmd/hetccsim -scenario wcs -solution proposed -observe observe -explain

@@ -23,9 +23,11 @@ var schedulerModes = []string{platform.SchedulerEvent, platform.SchedulerTick}
 
 // determinismBatch is a representative run matrix: every case-study platform
 // × scenario × solution, with verification, auditing, profiling and span
-// collection on so the reports carry the full schema-v5 payload (stats,
+// collection on so the reports carry the full pre-v6 payload (stats,
 // violations, audit summary, stall-cause profile, critical path).  The
-// scheduler argument selects the engine strategy for every run in the batch.
+// sharing collector stays off here — TestSharingDigestEquivalence proves
+// enabling it changes nothing but the added section.  The scheduler argument
+// selects the engine strategy for every run in the batch.
 func determinismBatch(t *testing.T, scheduler string) []hetcc.BatchSpec {
 	t.Helper()
 	presets := []struct {
@@ -229,7 +231,7 @@ func TestBatchErrorHandling(t *testing.T) {
 }
 
 // TestBatchGoldenDigests pins the jobs=1 report digests of the full
-// 27-combination matrix (platform × scenario × solution, schema-v5 reports
+// 27-combination matrix (platform × scenario × solution, schema-v6 reports
 // with audit, profile, critical-path and cohort sections) against a committed golden
 // file — under both schedulers, which must reproduce the same digests.  This is
 // the differential gate for behavior-preserving optimizations: a hot-loop
@@ -263,7 +265,7 @@ func TestBatchGoldenDigests(t *testing.T) {
 		}
 		return cur
 	}
-	path := filepath.Join("testdata", "batch_digests_v5.json")
+	path := filepath.Join("testdata", "batch_digests_v6.json")
 	if *updateGoldens {
 		cur := digestsFor(t, platform.SchedulerTick)
 		raw, err := json.MarshalIndent(cur, "", "  ")

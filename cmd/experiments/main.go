@@ -7,6 +7,7 @@
 //	experiments                 # everything
 //	experiments -fig 6          # one figure (5, 6, 7 or 8)
 //	experiments -table 2        # one table (1, 2, 3 or 4)
+//	experiments -sharing        # sharing-pattern characterisation of the scenarios
 //	experiments -format csv     # machine-readable output
 //	experiments -iterations 16  # longer runs
 //	experiments -jobs 8         # fan the run matrix across 8 workers
@@ -34,17 +35,18 @@ import (
 )
 
 var (
-	figFlag    = flag.Int("fig", 0, "regenerate only this figure (5-8); 0 = all")
-	tableFlag  = flag.Int("table", 0, "regenerate only this table (1-4); 0 = all")
-	format     = flag.String("format", "text", "output format: text, csv or md")
-	iterations = flag.Int("iterations", 0, "critical-section entries per task (0 = default)")
-	seed       = flag.Uint64("seed", 0, "workload seed")
-	verify     = flag.Bool("verify", true, "run the golden-model checker in every simulation")
-	auditFlag  = flag.Bool("audit", false, "run the online invariant auditor in every simulation; violations exit non-zero")
-	jobs       = flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers for the figure sweeps")
-	platFlag   = flag.String("platform", "pf2", "evaluation platform: pf2 (PowerPC755+ARM920T, the paper's) or pf3 (PowerPC755+Intel486)")
-	reportFlag = flag.String("report", "", "write a machine-readable JSON report of the regenerated figure points to this file")
-	schedFlag  = flag.String("scheduler", "", "engine scheduling strategy: event or tick (default: the library default; figures are identical either way)")
+	figFlag     = flag.Int("fig", 0, "regenerate only this figure (5-8); 0 = all")
+	tableFlag   = flag.Int("table", 0, "regenerate only this table (1-4); 0 = all")
+	format      = flag.String("format", "text", "output format: text, csv or md")
+	iterations  = flag.Int("iterations", 0, "critical-section entries per task (0 = default)")
+	seed        = flag.Uint64("seed", 0, "workload seed")
+	verify      = flag.Bool("verify", true, "run the golden-model checker in every simulation")
+	auditFlag   = flag.Bool("audit", false, "run the online invariant auditor in every simulation; violations exit non-zero")
+	jobs        = flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers for the figure sweeps")
+	platFlag    = flag.String("platform", "pf2", "evaluation platform: pf2 (PowerPC755+ARM920T, the paper's) or pf3 (PowerPC755+Intel486)")
+	reportFlag  = flag.String("report", "", "write a machine-readable JSON report of the regenerated figure points to this file")
+	schedFlag   = flag.String("scheduler", "", "engine scheduling strategy: event or tick (default: the library default; figures are identical either way)")
+	sharingFlag = flag.Bool("sharing", false, "characterise the sharing patterns of the three case-study scenarios under the proposed solution: per-line class census, false-sharing candidates and the master communication matrix")
 )
 
 // figureReport is the -report document: every figure point regenerated this
@@ -98,7 +100,7 @@ func main() {
 	if *tableFlag != 0 && (*tableFlag < 1 || *tableFlag > 4) {
 		fatalIf(fmt.Errorf("-table must be 1..4, got %d", *tableFlag))
 	}
-	runAll := *figFlag == 0 && *tableFlag == 0
+	runAll := *figFlag == 0 && *tableFlag == 0 && !*sharingFlag
 	var err error
 	if runAll || *tableFlag == 1 {
 		err = table1(out)
@@ -124,6 +126,9 @@ func main() {
 	}
 	if runAll || *figFlag == 8 {
 		fatalIf(figure8(out, opts))
+	}
+	if *sharingFlag {
+		fatalIf(sharingPatterns(out, opts))
 	}
 	if *reportFlag != "" {
 		report.Platform = *platFlag
@@ -261,6 +266,78 @@ func figure8(w io.Writer, opts hetcc.FigureOptions) error {
 	}
 	render(w, t)
 	return nil
+}
+
+// classOrder fixes the census column order (matches sharing.Class).
+var classOrder = []string{"private", "read-only", "producer-consumer", "migratory", "read-write"}
+
+// sharingPatterns runs the three case-study scenarios under the proposed
+// solution with the sharing collector and prints the per-line class census
+// and the master communication matrix — the workload-characterisation
+// companion to the figures (EXPERIMENTS.md discusses how to read it).
+func sharingPatterns(w io.Writer, opts hetcc.FigureOptions) error {
+	procs := opts.Processors
+	if len(procs) == 0 {
+		procs = hetcc.DefaultProcessors()
+	}
+	scenarios := []hetcc.Scenario{hetcc.WCS, hetcc.BCS, hetcc.TCS}
+	var specs []hetcc.BatchSpec
+	for _, s := range scenarios {
+		specs = append(specs, hetcc.BatchSpec{
+			Label: fmt.Sprintf("sharing/%v", s),
+			Config: hetcc.Config{
+				Scenario:   s,
+				Solution:   hetcc.Proposed,
+				Processors: procs,
+				Params:     hetcc.Params{Iterations: *iterations, Seed: *seed},
+				Verify:     opts.Verify,
+				Audit:      opts.Audit,
+				Sharing:    true,
+				Scheduler:  opts.Scheduler,
+			},
+		})
+	}
+	results := hetcc.RunBatch(specs, hetcc.BatchOptions{Jobs: opts.Jobs})
+	if err := hetcc.BatchFirstError(results); err != nil {
+		return err
+	}
+	census := stats.NewTable("Sharing patterns: per-line class census (proposed solution)",
+		"scenario", "lines", "private", "read-only", "prod-cons", "migratory", "read-write", "false-sharing")
+	for i, s := range scenarios {
+		sum := results[i].Result.Sharing
+		if sum == nil {
+			return fmt.Errorf("sharing: %v run produced no summary", s)
+		}
+		if bad := sum.Conserved(); bad != "" {
+			return fmt.Errorf("sharing: %v conservation violated: %s", s, bad)
+		}
+		row := []any{s.String(), len(sum.Lines)}
+		for _, cl := range classOrder {
+			row = append(row, sum.ClassCounts[cl])
+		}
+		row = append(row, sum.FalseSharingLines)
+		census.AddRow(row...)
+	}
+	render(w, census)
+	for i, s := range scenarios {
+		sum := results[i].Result.Sharing
+		t := stats.NewTable(fmt.Sprintf("Communication matrix: %v (from supplier/invalidator to consumer/victim)", s),
+			"from", "to", "supplies", "drains", "invalidations", "converted")
+		for _, m := range sum.Matrix {
+			t.AddRow(masterLabel(procs, m.From), masterLabel(procs, m.To),
+				m.Cell.Supplies, m.Cell.Drains, m.Cell.Invalidations, m.Cell.Converted)
+		}
+		render(w, t)
+	}
+	return nil
+}
+
+// masterLabel names bus master id for the matrix tables.
+func masterLabel(procs []platform.ProcessorSpec, id int) string {
+	if id >= 0 && id < len(procs) {
+		return procs[id].Model
+	}
+	return fmt.Sprintf("master %d", id)
 }
 
 func fatalIf(err error) {

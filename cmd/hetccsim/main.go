@@ -25,6 +25,7 @@ import (
 	"hetcc/internal/memory"
 	"hetcc/internal/platform"
 	"hetcc/internal/profile"
+	"hetcc/internal/sharing"
 	"hetcc/internal/span"
 	"hetcc/internal/stats"
 )
@@ -53,9 +54,10 @@ func main() {
 		chromePath   = flag.String("chrometrace", "", "write a Chrome trace-event dump (load in Perfetto / chrome://tracing) to this file")
 		profilePath  = flag.String("profile", "", "write a folded-stack stall-cause profile (flamegraph.pl / speedscope input) to this file")
 		spansPath    = flag.String("spans", "", "write the causal transaction spans (lifecycle + retry/drain edges + stall links) as JSONL to this file")
+		sharingPath  = flag.String("sharing", "", "write the sharing-pattern summary (per-line classes, communication matrix, address heatmap) as JSONL to this file and print the hot-line and matrix tables")
 		explainFlag  = flag.Bool("explain", false, "print the critical-path analysis: top-K blocking transactions and the per-cause cycle attribution of the last-retiring core")
 		comparePath  = flag.String("compare", "", "baseline run report (JSON, any schema version) to explain this run's cycle delta against")
-		observeDir   = flag.String("observe", "", "write every observability artifact (report, events, audit, stall profile, chrome trace, spans) into this directory; equivalent to setting -report/-events/-audit/-profile/-chrometrace/-spans together")
+		observeDir   = flag.String("observe", "", "write every observability artifact (report, events, audit, stall profile, chrome trace, spans, sharing) into this directory; equivalent to setting -report/-events/-audit/-profile/-chrometrace/-spans/-sharing together (explicit flags win)")
 		metricsWin   = flag.Uint64("metricswindow", 0, "time-series sampling window in engine cycles (0 = default)")
 		schedFlag    = flag.String("scheduler", platform.SchedulerEvent, "engine scheduling strategy: event (skips idle cycles) or tick (reference semantics; -vcd forces tick)")
 		maxCycles    = flag.Uint64("maxcycles", 50_000_000, "cycle budget")
@@ -129,7 +131,11 @@ func main() {
 		setDefault(chromePath, "trace.json")
 		setDefault(profilePath, "profile.folded")
 		setDefault(spansPath, "spans.jsonl")
+		setDefault(sharingPath, "sharing.jsonl")
 		*auditFlag = true
+	}
+	if *sharingPath != "" {
+		cfg.Sharing = true
 	}
 	if *reportPath != "" || *chromePath != "" {
 		cfg.Metrics = true
@@ -326,6 +332,21 @@ func main() {
 		fmt.Printf("transaction spans written to %s (%d transactions, %d dropped)\n",
 			*spansPath, len(p.Spans().Txns()), p.Spans().Dropped())
 	}
+	if *sharingPath != "" {
+		s := res.Sharing
+		if s == nil {
+			fatalIf(fmt.Errorf("-sharing: run produced no sharing summary"))
+		}
+		f, err := os.Create(*sharingPath)
+		fatalIf(err)
+		w := bufio.NewWriter(f)
+		fatalIf(s.WriteJSONL(w))
+		fatalIf(w.Flush())
+		fatalIf(f.Close())
+		fmt.Printf("sharing summary written to %s (%d lines, %d matrix cells, %d heat windows)\n",
+			*sharingPath, len(s.Lines), len(s.Matrix), len(s.Heatmap.Windows))
+		printSharing(s, p.MasterName)
+	}
 	if *chromePath != "" {
 		events := chrometrace.FromTenures(res.Tenures, p.MasterName)
 		events = append(events, chrometrace.FromLog(p.Log)...)
@@ -334,6 +355,9 @@ func main() {
 			events = append(events, chrometrace.FromViolations(res.Audit.Violations)...)
 		}
 		events = append(events, chrometrace.FromSpanEdges(p.Spans().Edges())...)
+		if res.Sharing != nil {
+			events = append(events, chrometrace.FromHeatmap(res.Sharing.Heatmap)...)
+		}
 		f, err := os.Create(*chromePath)
 		fatalIf(err)
 		fatalIf(chrometrace.Write(f, events))
@@ -484,6 +508,48 @@ func printExplain(cp *span.CriticalPath) {
 			txnT.AddRow(t.Txn, t.Component, t.Op, t.Addr, t.Submit, t.Complete, t.Retries, t.Cycles)
 		}
 		txnT.Render(os.Stdout)
+	}
+}
+
+// printSharing renders the sharing-pattern summary: the class census, the
+// top-N hot lines and the master communication matrix.
+func printSharing(s *sharing.Summary, masterName func(int) string) {
+	var classes []string
+	for _, c := range []sharing.Class{
+		sharing.ClassPrivate, sharing.ClassReadOnly, sharing.ClassProducerConsumer,
+		sharing.ClassMigratory, sharing.ClassReadWrite,
+	} {
+		if n := s.ClassCounts[c.String()]; n > 0 {
+			classes = append(classes, fmt.Sprintf("%s %d", c.String(), n))
+		}
+	}
+	fmt.Printf("sharing classes: %s", strings.Join(classes, ", "))
+	if s.FalseSharingLines > 0 {
+		fmt.Printf(" (%d false-sharing candidates)", s.FalseSharingLines)
+	}
+	fmt.Println()
+	fmt.Println()
+
+	hot := s.HotLines(10)
+	if len(hot) > 0 {
+		hotT := stats.NewTable("Hot lines", "line", "class", "rd", "wr", "falseShare", "misses", "upgr", "wb", "word", "inval", "c2c", "ovr")
+		for _, i := range hot {
+			l := s.Lines[i]
+			t := l.Traffic
+			hotT.AddRow(l.Base, l.Class, l.Readers, l.Writers, l.FalseSharing,
+				t.Misses, t.Upgrades, t.WriteBacks, t.WordOps, t.Invalidations, t.Supplies, t.SharedOverrides)
+		}
+		hotT.Render(os.Stdout)
+		fmt.Println()
+	}
+	if len(s.Matrix) > 0 {
+		mT := stats.NewTable("Communication matrix", "from", "to", "supplies", "drains", "invalidations", "converted")
+		for _, c := range s.Matrix {
+			mT.AddRow(masterName(c.From), masterName(c.To),
+				c.Cell.Supplies, c.Cell.Drains, c.Cell.Invalidations, c.Cell.Converted)
+		}
+		mT.Render(os.Stdout)
+		fmt.Println()
 	}
 }
 

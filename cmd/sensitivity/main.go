@@ -11,7 +11,7 @@
 // Usage:
 //
 //	sensitivity              # all sweeps
-//	sensitivity -sweep isr   # one sweep: isr, drain, access, clock, cache, pipeline
+//	sensitivity -sweep isr   # one sweep: isr, drain, access, clock, cache, words, pipeline
 //	sensitivity -jobs 8      # eight simulation workers
 package main
 
@@ -20,22 +20,24 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"hetcc"
 	"hetcc/internal/platform"
+	"hetcc/internal/sharing"
 	"hetcc/internal/stats"
 )
 
 var (
-	sweepFlag = flag.String("sweep", "", "sweep to run: isr, wrapper, drain, access, clock, cache, pipeline (empty = all)")
+	sweepFlag = flag.String("sweep", "", "sweep to run: isr, wrapper, drain, access, clock, cache, words, pipeline (empty = all)")
 	jobsFlag  = flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers")
 )
 
 func main() {
 	flag.Parse()
-	known := map[string]bool{"": true, "isr": true, "wrapper": true, "drain": true, "access": true, "clock": true, "cache": true, "pipeline": true}
+	known := map[string]bool{"": true, "isr": true, "wrapper": true, "drain": true, "access": true, "clock": true, "cache": true, "words": true, "pipeline": true}
 	if !known[*sweepFlag] {
-		fatalIf(fmt.Errorf("unknown sweep %q (want isr, wrapper, drain, access, clock, cache, pipeline)", *sweepFlag))
+		fatalIf(fmt.Errorf("unknown sweep %q (want isr, wrapper, drain, access, clock, cache, words, pipeline)", *sweepFlag))
 	}
 	run := func(name string, f func()) {
 		if *sweepFlag == "" || *sweepFlag == name {
@@ -48,6 +50,7 @@ func main() {
 	run("access", sweepAccess)
 	run("clock", sweepClock)
 	run("cache", sweepCache)
+	run("words", sweepWords)
 	run("pipeline", sweepPipeline)
 }
 
@@ -179,6 +182,79 @@ func sweepCache() {
 		rows = append(rows, row{label: fmt.Sprintf("%dKB", v), specs: specs})
 	}
 	render("Sensitivity: ARM920T data-cache size (default 16KB)", "size", rows, speedups(rows))
+}
+
+// sweepWords varies how many words of each 8-word line an iteration
+// touches, and attaches the sharing collector (proposed runs only; it never
+// changes cycle counts) to explain the response: invalidations and
+// cache-to-cache drains are per-line costs, so the proposed solution's
+// advantage shifts as the touched fraction of each line shrinks while the
+// line-granular coherence traffic stays.
+func sweepWords() {
+	words := []int{1, 2, 4, 8}
+	scenarios := []hetcc.Scenario{hetcc.WCS, hetcc.BCS}
+	solutions := []hetcc.Solution{hetcc.Software, hetcc.Proposed}
+	var specs []hetcc.BatchSpec
+	for _, wpl := range words {
+		for _, s := range scenarios {
+			for _, sol := range solutions {
+				specs = append(specs, hetcc.BatchSpec{
+					Label: fmt.Sprintf("words=%d/%v/%v", wpl, s, sol),
+					Config: hetcc.Config{
+						Scenario: s,
+						Solution: sol,
+						Params:   hetcc.Params{Lines: 32, ExecTime: 1, WordsPerLine: wpl},
+						Sharing:  sol == hetcc.Proposed,
+					},
+				})
+			}
+		}
+	}
+	results := hetcc.RunBatch(specs, hetcc.BatchOptions{Jobs: *jobsFlag})
+	fatalIf(hetcc.BatchFirstError(results))
+	t := stats.NewTable("Sensitivity: words touched per 8-word line (default 8), with the WCS sharing profile",
+		"words", "WCS speedup %", "BCS speedup %", "WCS classes", "WCS invalidations", "WCS c2c drains")
+	i := 0
+	for _, wpl := range words {
+		var sp [2]float64
+		var wcs *sharing.Summary
+		for si := range scenarios {
+			software := results[i].Result
+			proposed := results[i+1].Result
+			i += 2
+			sp[si] = stats.SpeedupPct(proposed.Cycles, software.Cycles)
+			if si == 0 {
+				wcs = proposed.Sharing
+			}
+		}
+		if wcs == nil {
+			fatalIf(fmt.Errorf("words=%d: WCS proposed run produced no sharing summary", wpl))
+		}
+		if bad := wcs.Conserved(); bad != "" {
+			fatalIf(fmt.Errorf("words=%d: sharing conservation violated: %s", wpl, bad))
+		}
+		t.AddRow(wpl, fmt.Sprintf("%+.2f", sp[0]), fmt.Sprintf("%+.2f", sp[1]),
+			censusString(wcs), wcs.Totals.Invalidations, wcs.Totals.Drains)
+	}
+	t.Render(os.Stdout)
+	fmt.Println()
+}
+
+// censusString compacts a class census into "32 migratory, 1 private" form.
+func censusString(s *sharing.Summary) string {
+	var parts []string
+	for _, cl := range []string{"private", "read-only", "producer-consumer", "migratory", "read-write"} {
+		if n := s.ClassCounts[cl]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, cl))
+		}
+	}
+	if s.FalseSharingLines > 0 {
+		parts = append(parts, fmt.Sprintf("%d false-sharing", s.FalseSharingLines))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ", ")
 }
 
 // sweepPipeline contrasts the plain ASB with the AHB-style pipelined bus.

@@ -105,6 +105,10 @@ type Config struct {
 	// critical-path attribution lands in Result.CriticalPath (pair with
 	// Profile for stall links and the ledger cross-check).
 	Spans bool
+	// Sharing enables the sharing-pattern collector (per-line
+	// classification, communication matrix, address heatmap); the run's
+	// summary lands in Result.Sharing.
+	Sharing bool
 	// Scheduler selects the engine scheduling strategy:
 	// platform.SchedulerEvent (the default) or platform.SchedulerTick.
 	// Both produce byte-identical reports and digests (DESIGN.md §8).
@@ -156,6 +160,7 @@ func Build(cfg Config) (*platform.Platform, error) {
 		EventLog:        cfg.EventLog,
 		Profile:         cfg.Profile,
 		Spans:           cfg.Spans,
+		Sharing:         cfg.Sharing,
 		Scheduler:       cfg.Scheduler,
 	})
 	if err != nil {

@@ -308,6 +308,7 @@ func (ctl *Controller) accessWriteThrough(write bool, addr, val uint32, done fun
 	if write {
 		ctl.busy = true
 		ctl.reqDone = done
+		ctl.events.MemAccess(ctl.masterID, addr, true)
 		ctl.reqTxn = bus.Transaction{Master: ctl.masterID, Kind: bus.WriteWord, Addr: addr, Val: val, Words: 1}
 		if l != nil && !l.flushPending {
 			ctl.cache.stats.WriteHits++
@@ -342,6 +343,7 @@ func (ctl *Controller) accessWriteThrough(write bool, addr, val uint32, done fun
 	ctl.reqAddr = addr
 	ctl.reqDone = done
 	ctl.reqVictim = victim
+	ctl.events.MemAccess(ctl.masterID, addr, false)
 	ctl.reqTxn = bus.Transaction{Master: ctl.masterID, Kind: bus.ReadLine, Addr: cfg.LineAddr(addr), Words: cfg.WordsPerLine()}
 	ctl.bus.Submit(&ctl.reqTxn, ctl.wtReadDoneFn)
 	return Pending, 0
@@ -377,6 +379,7 @@ func (ctl *Controller) writeWithBus(op coherence.BusOp, next coherence.State, ad
 	ctl.upgradeLost = false
 	ctl.reqOp, ctl.reqNext = op, next
 	ctl.reqAddr, ctl.reqVal, ctl.reqDone = addr, val, done
+	ctl.events.MemAccess(ctl.masterID, addr, true)
 	switch op {
 	case coherence.BusUpgr:
 		ctl.cache.stats.Upgrades++
@@ -439,6 +442,7 @@ func (ctl *Controller) missFill(write bool, addr, val uint32, done func(uint32))
 	ctl.reqWrite, ctl.reqAddr, ctl.reqVal = write, addr, val
 	ctl.reqDone, ctl.reqVictim = done, victim
 	ctl.reqStart = ctl.bus.Cycle()
+	ctl.events.MemAccess(ctl.masterID, addr, write)
 	ctl.reqTxn = bus.Transaction{Master: ctl.masterID, Kind: kind, Addr: base, Words: cfg.WordsPerLine()}
 	ctl.bus.Submit(&ctl.reqTxn, ctl.fillDoneFn)
 }
@@ -609,7 +613,6 @@ func (ctl *Controller) SnoopBus(t *bus.Transaction) bus.SnoopReply {
 		panic(fmt.Sprintf("cache %s: %v", ctl.name, err))
 	}
 	ctl.cache.stats.SnoopHits++
-	ctl.events.SnoopHit(ctl.masterID, l.Base, op)
 	if out.Supply && !ctl.policy.AllowSupply() {
 		// Intervention suppressed: drain to memory and let the requester
 		// retry, as a non-MOESI requester cannot accept the transfer.
@@ -619,6 +622,11 @@ func (ctl *Controller) SnoopBus(t *bus.Transaction) bus.SnoopReply {
 			out.Next = coherence.Shared
 		}
 	}
+	// Emitted after supply suppression so the flags carry the resolved
+	// reaction; out.Next == Invalid covers the flush branch too (the line is
+	// invalidated, or downgraded, when its drain completes).
+	ctl.events.SnoopHit(ctl.masterID, l.Base, op, t.Master,
+		out.Next == coherence.Invalid, out.Supply, out.Flush, converted)
 	if out.Flush {
 		// ARTRY/HITM: drain first, then let the requester retry.  The
 		// arbiter is asked to grant us next (BOFF).

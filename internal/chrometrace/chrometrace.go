@@ -23,6 +23,7 @@ import (
 	"hetcc/internal/audit"
 	"hetcc/internal/bus"
 	"hetcc/internal/profile"
+	"hetcc/internal/sharing"
 	"hetcc/internal/span"
 	"hetcc/internal/trace"
 )
@@ -60,6 +61,9 @@ const (
 	PidAudit = 3
 	// PidProfile groups per-core stall-cause spans from the cycle ledger.
 	PidProfile = 4
+	// PidSharing groups the address-heatmap counter tracks from the
+	// sharing-pattern collector.
+	PidSharing = 5
 )
 
 func usAt(cycle uint64) float64 { return float64(cycle) / EngineCyclesPerMicrosecond }
@@ -254,6 +258,41 @@ func FromSpanEdges(edges []span.Edge) []Event {
 		}
 		events = append(events, start, finish)
 	}
+	return events
+}
+
+// FromHeatmap converts the sharing collector's windowed address heatmap into
+// counter events ("ph":"C"), one series per address region: the viewer draws
+// a stacked area chart of bus accesses per window, so traffic migrating
+// across the address map over time is visible at a glance.  Each window
+// contributes one sample at its start; a closing zero sample is emitted
+// after the final window so the last value does not extend forever.
+func FromHeatmap(h sharing.Heatmap) []Event {
+	if len(h.Windows) == 0 {
+		return nil
+	}
+	events := []Event{
+		meta("process_name", PidSharing, 0, "address heatmap"),
+		meta("thread_name", PidSharing, 0, fmt.Sprintf("accesses per %d-cycle window", h.Window)),
+	}
+	for _, w := range h.Windows {
+		args := make(map[string]any, len(w.Regions)+1)
+		for _, rc := range w.Regions {
+			args[rc.Base] = rc.Count
+		}
+		if w.Overflow > 0 {
+			args["(overflow)"] = w.Overflow
+		}
+		events = append(events, Event{
+			Name: "heat", Ph: "C", Ts: usAt(w.Start),
+			Pid: PidSharing, Tid: 0, Args: args,
+		})
+	}
+	last := h.Windows[len(h.Windows)-1]
+	events = append(events, Event{
+		Name: "heat", Ph: "C", Ts: usAt(last.Start + h.Window),
+		Pid: PidSharing, Tid: 0, Args: map[string]any{},
+	})
 	return events
 }
 

@@ -47,6 +47,13 @@ const (
 	// BusComplete: a tenure finished its data phase and left the bus; the
 	// master's next queued transaction (if any) re-enters arbitration.
 	BusComplete
+	// MemAccess: a CPU load or store reached the bus-bound path of its cache
+	// controller (miss fill, upgrade, write-through store).  Word-granular —
+	// Addr is the accessed word — so sharing-pattern analysis can build
+	// word-offset access sets inside a line (false-sharing detection) where
+	// the line-grain BusGrant cannot.  At most one per bus transaction, so
+	// the hot path stays cheap.
+	MemAccess
 
 	kindCount
 )
@@ -72,6 +79,8 @@ func (k Kind) String() string {
 		return "drain"
 	case BusComplete:
 		return "bus-complete"
+	case MemAccess:
+		return "mem-access"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -104,6 +113,19 @@ type Record struct {
 	// dirty-line drain (cache flush in flight or ISR drain pending) before
 	// the transaction can succeed, as opposed to a plain ARTRY.
 	Drain bool
+	// Peer is the requesting master whose transaction a SnoopHit matched
+	// (Core is the snooper).  Together they orient the communication-matrix
+	// edges of package sharing: supply/flush run snooper→requester,
+	// invalidation runs requester→snooper.
+	Peer int
+	// Inval/Supply/Flush/Converted qualify a SnoopHit: the snooped line is
+	// (eventually) invalidated; the snooper answers with a cache-to-cache
+	// transfer; the snooper drains the line to memory and ARTRYs the
+	// requester (including the TAG-CAM's ISR drains); the observed op was
+	// rewritten by the snooper's wrapper (Op carries the converted op).
+	Inval, Supply, Flush, Converted bool
+	// Write reports the access direction of a MemAccess (store vs load).
+	Write bool
 	// SharedIn/SharedOut carry the shared-signal value before and after a
 	// SharedOverride, and SharedOut the sampled value on BusGrant.
 	SharedIn, SharedOut bool
@@ -222,13 +244,26 @@ func (s *Sink) Retry(core int, busKind uint8, addr uint32, retries int, drain bo
 	s.emit(Record{Kind: Retry, Core: core, Addr: addr, BusKind: busKind, Retries: retries, Drain: drain, Txn: txn})
 }
 
-// SnoopHit records a snooper matching a remote transaction on line addr; op
-// is the coherence operation it observed (after any wrapper conversion).
-func (s *Sink) SnoopHit(core int, addr uint32, op coherence.BusOp) {
+// SnoopHit records a snooper (core) matching peer's transaction on line
+// addr; op is the coherence operation it observed (after any wrapper
+// conversion).  inval/supply/flush/converted report the snooper's resolved
+// reaction — inval means the snooped copy is invalidated, for a flush once
+// its drain completes (cache flush or TAG-CAM ISR).
+func (s *Sink) SnoopHit(core int, addr uint32, op coherence.BusOp, peer int, inval, supply, flush, converted bool) {
 	if s == nil {
 		return
 	}
-	s.emit(Record{Kind: SnoopHit, Core: core, Addr: addr, Op: op})
+	s.emit(Record{Kind: SnoopHit, Core: core, Addr: addr, Op: op, Peer: peer,
+		Inval: inval, Supply: supply, Flush: flush, Converted: converted})
+}
+
+// MemAccess records a CPU load (write=false) or store reaching its cache
+// controller's bus-bound path; addr is the accessed word.
+func (s *Sink) MemAccess(core int, addr uint32, write bool) {
+	if s == nil {
+		return
+	}
+	s.emit(Record{Kind: MemAccess, Core: core, Addr: addr, Write: write})
 }
 
 // StateChange records a cache line of core moving old→new.
@@ -385,6 +420,21 @@ func (jw *JSONLWriter) render(r *Record) {
 		b = appendHex(b, r.Addr)
 		b = append(b, `,"op":`...)
 		b = appendQuoted(b, r.Op.String())
+		b = append(b, `,"peer":`...)
+		b = strconv.AppendInt(b, int64(r.Peer), 10)
+		b = append(b, `,"inval":`...)
+		b = strconv.AppendBool(b, r.Inval)
+		b = append(b, `,"supply":`...)
+		b = strconv.AppendBool(b, r.Supply)
+		b = append(b, `,"flush":`...)
+		b = strconv.AppendBool(b, r.Flush)
+		b = append(b, `,"converted":`...)
+		b = strconv.AppendBool(b, r.Converted)
+	case MemAccess:
+		b = append(b, `,"addr":`...)
+		b = appendHex(b, r.Addr)
+		b = append(b, `,"write":`...)
+		b = strconv.AppendBool(b, r.Write)
 	case StateChange:
 		b = append(b, `,"addr":`...)
 		b = appendHex(b, r.Addr)

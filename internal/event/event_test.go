@@ -16,12 +16,13 @@ func TestNilSinkIsSafe(t *testing.T) {
 	s.BusRequest(0, 1, 0x100, 1)
 	s.BusGrant(0, 1, 0x100, true, 1)
 	s.Retry(0, 1, 0x100, 3, false, 1)
-	s.SnoopHit(1, 0x100, coherence.BusRd)
+	s.SnoopHit(1, 0x100, coherence.BusRd, 0, false, true, false, false)
 	s.StateChange(1, 0x100, coherence.Invalid, coherence.Exclusive)
 	s.WrapperConvert(1, coherence.BusRd, coherence.BusRdX)
 	s.SharedOverride(1, true, false)
 	s.Drain(1, 0x100, 0)
 	s.BusComplete(0, 1, 0x100, 1)
+	s.MemAccess(0, 0x104, true)
 	s.Subscribe(func(*Record) { t.Fatal("nil sink delivered an event") })
 	if s.Enabled() || s.Counts() != nil || s.Total() != 0 {
 		t.Fatal("nil sink misbehaves")
@@ -65,7 +66,7 @@ func TestKindStrings(t *testing.T) {
 		BusRequest: "bus-request", BusGrant: "bus-grant", Retry: "retry",
 		SnoopHit: "snoop-hit", StateChange: "state-change",
 		WrapperConvert: "wrapper-convert", SharedOverride: "shared-override",
-		Drain: "drain", BusComplete: "bus-complete",
+		Drain: "drain", BusComplete: "bus-complete", MemAccess: "mem-access",
 	}
 	if len(want) != int(kindCount) {
 		t.Fatalf("test covers %d kinds, package has %d", len(want), kindCount)
@@ -91,24 +92,25 @@ func TestJSONLWriter(t *testing.T) {
 	s.BusRequest(0, 2, 0x2000_0000, 7)
 	s.BusGrant(0, 2, 0x2000_0000, true, 7)
 	s.Retry(1, 2, 0x2000_0000, 4, true, 7)
-	s.SnoopHit(1, 0x2000_0000, coherence.BusRdX)
+	s.SnoopHit(1, 0x2000_0000, coherence.BusRdX, 0, true, false, false, true)
 	s.StateChange(0, 0x2000_0000, coherence.Invalid, coherence.Exclusive)
 	s.WrapperConvert(1, coherence.BusRd, coherence.BusRdX)
 	s.SharedOverride(1, true, false)
 	s.Drain(0, 0x2000_0000, 9)
 	s.BusComplete(0, 2, 0x2000_0000, 7)
+	s.MemAccess(0, 0x2000_0004, true)
 
 	if jw.Err() != nil {
 		t.Fatal(jw.Err())
 	}
 	lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
-	if len(lines) != 9 || jw.Written() != 9 {
-		t.Fatalf("%d lines, %d written, want 9", len(lines), jw.Written())
+	if len(lines) != 10 || jw.Written() != 10 {
+		t.Fatalf("%d lines, %d written, want 10", len(lines), jw.Written())
 	}
 	wantKinds := []string{
 		"bus-request", "bus-grant", "retry", "snoop-hit",
 		"state-change", "wrapper-convert", "shared-override", "drain",
-		"bus-complete",
+		"bus-complete", "mem-access",
 	}
 	for i, line := range lines {
 		var obj map[string]any
@@ -133,6 +135,13 @@ func TestJSONLWriter(t *testing.T) {
 	}
 	if !strings.Contains(lines[8], `"op":"bus-kind-2"`) {
 		t.Errorf("bus-complete payload wrong: %s", lines[8])
+	}
+	if !strings.Contains(lines[3], `"peer":0`) || !strings.Contains(lines[3], `"inval":true`) ||
+		!strings.Contains(lines[3], `"converted":true`) {
+		t.Errorf("snoop-hit payload wrong: %s", lines[3])
+	}
+	if !strings.Contains(lines[9], `"addr":"0x20000004"`) || !strings.Contains(lines[9], `"write":true`) {
+		t.Errorf("mem-access payload wrong: %s", lines[9])
 	}
 }
 

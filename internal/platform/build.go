@@ -17,6 +17,7 @@ import (
 	"hetcc/internal/metrics"
 	"hetcc/internal/periph"
 	"hetcc/internal/profile"
+	"hetcc/internal/sharing"
 	"hetcc/internal/sim"
 	"hetcc/internal/snooplogic"
 	"hetcc/internal/span"
@@ -70,12 +71,18 @@ type Platform struct {
 	eventJSONL *event.JSONLWriter
 	profiler   *profile.Ledger
 	spans      *span.Collector
+	sharing    *sharing.Collector
 }
 
 // Spans returns the causal transaction-span collector (nil unless
 // Config.Spans).  Valid after Run: the collector is finished and its stall
 // links, edges and JSONL export are available.
 func (p *Platform) Spans() *span.Collector { return p.spans }
+
+// Sharing returns the sharing-pattern collector (nil unless Config.Sharing).
+// Valid after Run: the collector is finished and its summary is on
+// Result.Sharing.
+func (p *Platform) Sharing() *sharing.Collector { return p.sharing }
 
 // MasterName labels bus master id for exports: the processor model for CPU
 // cores, "dma" for the DMA engine.
@@ -149,7 +156,7 @@ func Build(cfg Config) (*Platform, error) {
 	// The event stream exists when the auditor or the JSONL export wants
 	// it; otherwise the sink stays nil and every producer emission is one
 	// nil check (same contract as the metrics instruments).
-	if cfg.Audit || cfg.EventLog != nil || cfg.Profile || cfg.Spans {
+	if cfg.Audit || cfg.EventLog != nil || cfg.Profile || cfg.Spans || cfg.Sharing {
 		p.events = event.NewSink(engine.Now)
 	}
 	b.SetEvents(p.events)
@@ -160,6 +167,22 @@ func Build(cfg Config) (*Platform, error) {
 	if cfg.Spans {
 		p.spans = span.NewCollector(lineBytes)
 		p.events.Subscribe(p.spans.HandleEvent)
+	}
+	if cfg.Sharing {
+		masters := len(cfg.Processors)
+		if cfg.DMA {
+			masters++ // the DMA engine is a bus master too
+		}
+		window := cfg.MetricsWindow
+		if window == 0 {
+			window = DefaultMetricsWindow
+		}
+		p.sharing = sharing.NewCollector(sharing.Config{
+			Masters:   masters,
+			LineBytes: lineBytes,
+			Window:    window,
+		})
+		p.events.Subscribe(p.sharing.HandleEvent)
 	}
 	if cfg.EventLog != nil {
 		p.eventJSONL = event.NewJSONLWriter(cfg.EventLog, func(k uint8) string { return bus.Kind(k).String() })

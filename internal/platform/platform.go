@@ -325,6 +325,15 @@ type Config struct {
 	// links and the ledger cross-check.  Off by default; the disabled path
 	// costs nothing (the collector is simply never subscribed).
 	Spans bool
+	// Sharing enables the sharing-pattern collector (package sharing):
+	// every touched line is classified (private / read-only / read-write /
+	// migratory / producer-consumer, plus false-sharing candidates), master
+	// pair communication is accumulated into a matrix, and bus traffic is
+	// bucketed into a bounded windowed address heatmap, with Result.Sharing
+	// carrying the summary (report schema v6, "sharing").  Enables the
+	// coherence event stream.  Off by default; enabling it never changes
+	// the simulated timeline — the collector only observes.
+	Sharing bool
 	// DeadlockThreshold overrides the bus livelock detector bound.
 	DeadlockThreshold int
 	// DMA adds the coherent DMA engine (register bank at DMABase).

@@ -11,6 +11,7 @@ import (
 	"hetcc/internal/cpu"
 	"hetcc/internal/metrics"
 	"hetcc/internal/profile"
+	"hetcc/internal/sharing"
 	"hetcc/internal/snooplogic"
 	"hetcc/internal/span"
 )
@@ -25,9 +26,11 @@ const ReportSchema = "hetcc.run-report"
 // added the "critical_path" section (causal span analysis, package span); v5
 // added the "manifest" provenance block and the "cohorts" section (the
 // per-(master, op, line) transaction-cohort partition that differential run
-// analysis, package delta, aligns across runs).  Every v1–v4 field is
-// unchanged, so older consumers keep working.
-const ReportSchemaVersion = 5
+// analysis, package delta, aligns across runs); v6 added the "sharing"
+// section (per-line sharing-pattern classification, the master communication
+// matrix and the windowed address heatmap, package sharing).  Every v1–v5
+// field is unchanged, so older consumers keep working.
+const ReportSchemaVersion = 6
 
 // Report is the machine-readable summary of one simulation run, written by
 // the -report flag of cmd/hetccsim.  It is deliberately free of wall-clock
@@ -90,6 +93,12 @@ type Report struct {
 	// exact per-cohort delta.  Nil when the run had spans disabled.
 	Cohorts *span.CohortSummary `json:"cohorts,omitempty"`
 
+	// Sharing is the sharing-pattern summary (schema v6): per-line lifetime
+	// classifications with false-sharing candidates, the master
+	// communication matrix and the windowed address heatmap.  Nil when the
+	// run had the sharing collector disabled.
+	Sharing *sharing.Summary `json:"sharing,omitempty"`
+
 	// Manifest records the run's provenance (schema v5): toolchain, module
 	// build, CLI flags and seed.  Nil when the producer stamped none (the
 	// batch runner stamps only deterministic fields so its digests stay
@@ -127,6 +136,7 @@ func (p *Platform) Report(res Result, scenario string) Report {
 		TraceDropped:      p.Log.Dropped(),
 		CriticalPath:      res.CriticalPath,
 		Cohorts:           res.Cohorts,
+		Sharing:           res.Sharing,
 		Manifest:          p.Manifest,
 	}
 	if res.Err != nil {

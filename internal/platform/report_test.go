@@ -29,6 +29,7 @@ func runWCSReport(t *testing.T) (*Platform, Result, Report) {
 		Audit:         true,
 		Profile:       true,
 		Spans:         true,
+		Sharing:       true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -299,6 +300,63 @@ func TestReportV4FieldsStable(t *testing.T) {
 	}
 	if diff := m.Diff(back.Manifest); len(diff) != 0 {
 		t.Fatalf("manifest drifted through the round trip: %v", diff)
+	}
+}
+
+// TestReportV5FieldsStable guards v5 consumers across the v6 bump: every
+// v1–v5 key is present under its old name, and the v6 addition is the
+// separate "sharing" section, conserved against its own event-stream totals
+// with every touched line in exactly one class.
+func TestReportV5FieldsStable(t *testing.T) {
+	_, res, rep := runWCSReport(t)
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	v5Fields := []string{
+		"schema", "schema_version", "scenario", "solution", "platform",
+		"effective_protocol", "cycles", "bus_cycles", "stop_reason",
+		"deadlocked", "coherent", "bus", "cores", "metrics", "audit",
+		"profile", "critical_path", "cohorts", "manifest",
+	}
+	for _, f := range v5Fields {
+		if _, ok := raw[f]; !ok {
+			t.Errorf("v5 field %q missing from v%d report", f, ReportSchemaVersion)
+		}
+	}
+	if _, ok := raw["sharing"]; !ok {
+		t.Error("v6 sharing section missing from a sharing-enabled report")
+	}
+	s := rep.Sharing
+	if s == nil {
+		t.Fatal("sharing summary missing from a sharing-enabled report")
+	}
+	if bad := s.Conserved(); bad != "" {
+		t.Fatalf("sharing conservation violated: %s", bad)
+	}
+	if s.Masters != len(rep.Cores) {
+		t.Fatalf("sharing tracks %d masters, platform has %d cores", s.Masters, len(rep.Cores))
+	}
+	if len(s.Lines) == 0 || len(s.Matrix) == 0 || len(s.Heatmap.Windows) == 0 {
+		t.Fatalf("sharing summary empty on a contended WCS run: %d lines, %d cells, %d windows",
+			len(s.Lines), len(s.Matrix), len(s.Heatmap.Windows))
+	}
+	if res.Sharing == nil || res.Sharing.Totals != s.Totals {
+		t.Fatal("Result.Sharing and report sharing disagree")
+	}
+	// The scheduler telemetry (same PR) rides the metrics section: an
+	// event-scheduled metrics run must carry the sched.* counters.
+	if rep.Metrics != nil {
+		if _, ok := rep.Metrics.Counters["sched.wakes"]; !ok {
+			t.Errorf("sched.wakes counter missing from metrics: %v", rep.Metrics.Counters)
+		}
+		if _, ok := rep.Metrics.Histograms["sched.skip.cycles"]; !ok {
+			t.Error("sched.skip.cycles histogram missing from metrics")
+		}
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"hetcc/internal/cpu"
 	"hetcc/internal/metrics"
 	"hetcc/internal/profile"
+	"hetcc/internal/sharing"
 	"hetcc/internal/sim"
 	"hetcc/internal/snooplogic"
 	"hetcc/internal/span"
@@ -138,6 +139,11 @@ type Result struct {
 	// op, line) critical cycles sum to Cycles exactly, the alignment unit of
 	// differential run analysis (package delta).
 	Cohorts *span.CohortSummary
+	// Sharing is the sharing-pattern summary (nil unless Config.Sharing):
+	// per-line classifications, the master communication matrix and the
+	// windowed address heatmap.  Enabling it never changes the simulated
+	// timeline — the collector only observes the event stream.
+	Sharing *sharing.Summary
 }
 
 // Deadlocked reports whether the run ended in the paper's hardware
@@ -181,6 +187,28 @@ func (p *Platform) Run(maxCycles uint64) Result {
 	if p.sampler != nil {
 		p.sampler.Flush(p.Engine.Now()) // final partial window
 	}
+	if p.Metrics != nil && p.Engine.EventScheduler() {
+		// Scheduler wake telemetry: how hard the event scheduler worked and
+		// how much idle time it skipped.  Recorded before the snapshot; zero
+		// under the tick scheduler, so the sched.* family only appears in
+		// event-mode snapshots.
+		st := p.Engine.SchedStats()
+		p.Metrics.Counter("sched.wakes").Add(st.Wakes)
+		p.Metrics.Counter("sched.passes").Add(st.Passes)
+		p.Metrics.Gauge("sched.heap.maxdepth").Set(float64(st.MaxHeapDepth))
+		h := p.Metrics.Histogram("sched.skip.cycles")
+		for i, n := range st.SkipBuckets {
+			// Replay each log2 bucket at its lower bound (the engine tallies
+			// distances itself so the hot loop stays metrics-free).
+			var v uint64
+			if i > 0 {
+				v = 1 << uint(i-1)
+			}
+			for ; n > 0; n-- {
+				h.Observe(v)
+			}
+		}
+	}
 	if p.Metrics != nil {
 		res.Metrics = p.Metrics.Snapshot()
 		res.Tenures = p.tenures
@@ -213,6 +241,10 @@ func (p *Platform) Run(maxCycles uint64) Result {
 			res.Cohorts = span.Cohorts(p.spans, res.CriticalPath.Core, res.Cycles,
 				p.MasterName, func(k uint8) string { return bus.Kind(k).String() })
 		}
+	}
+	if p.sharing != nil {
+		p.sharing.Finish()
+		res.Sharing = p.sharing.Summary()
 	}
 	if p.vcd != nil {
 		_ = p.vcd.w.Close(p.Engine.Now())

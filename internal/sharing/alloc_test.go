@@ -1,0 +1,60 @@
+package sharing
+
+import (
+	"testing"
+
+	"hetcc/internal/bus"
+	"hetcc/internal/coherence"
+	"hetcc/internal/event"
+)
+
+// The collector rides the coherence event stream of every sharing-enabled
+// run, so its steady state must add no garbage to the simulation loop: all
+// per-line state is a flat value struct in a growable slice, the heat ring is
+// pre-allocated, and sealing a window copies a value (`make allocs`).
+
+// TestAllocsSharingCollector pins the steady-state emit path — already-seen
+// line, open heat window — at zero allocations per event.
+func TestAllocsSharingCollector(t *testing.T) {
+	c := NewCollector(Config{Masters: 2, LineBytes: 32, Window: 1 << 30})
+	const base = 0x2000_0040
+	warm := []event.Record{
+		grant(1, 0, base, bus.ReadLine),
+		mem(1, 0, base, false),
+		snoop(1, 1, base, 0, true, false, true, false),
+		change(2, 0, base, coherence.Exclusive, coherence.Modified),
+		{Cycle: 3, Kind: event.BusComplete, Core: 0, Addr: base},
+	}
+	feed(c, warm)
+
+	steady := []event.Record{
+		grant(4, 1, base, bus.ReadLineOwn),
+		mem(4, 1, base+4, true),
+		snoop(4, 0, base, 1, true, false, true, false),
+		change(5, 1, base, coherence.Invalid, coherence.Modified),
+		{Cycle: 5, Kind: event.BusComplete, Core: 1, Addr: base},
+		{Cycle: 5, Kind: event.SharedOverride, Core: 1},
+		grant(6, 0, base, bus.RMWWord),
+	}
+	n := testing.AllocsPerRun(1000, func() {
+		for i := range steady {
+			c.HandleEvent(&steady[i])
+		}
+	})
+	if n != 0 {
+		t.Fatalf("steady-state emit path allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestAllocsNilSharingCollector: the nil collector is a single nil check.
+func TestAllocsNilSharingCollector(t *testing.T) {
+	var c *Collector
+	r := grant(1, 0, 0x40, bus.ReadLine)
+	n := testing.AllocsPerRun(1000, func() {
+		c.HandleEvent(&r)
+		c.Finish()
+	})
+	if n != 0 {
+		t.Fatalf("nil collector allocates %.1f/op, want 0", n)
+	}
+}

@@ -1,0 +1,296 @@
+package sharing
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+)
+
+// LineSummary is the final per-line record: classification, participant
+// counts, false-sharing verdict and traffic tally.
+type LineSummary struct {
+	// Base is the line base address, hex ("0x20000040").
+	Base string `json:"base"`
+	// Class is the lifetime classification (Class.String).
+	Class string `json:"class"`
+	// Readers/Writers count distinct masters that read/wrote the line.
+	Readers int `json:"readers"`
+	Writers int `json:"writers"`
+	// FalseSharing marks word-evidence false-sharing candidates.
+	FalseSharing bool `json:"false_sharing,omitempty"`
+	// Traffic is the line's event tally.
+	Traffic LineTraffic `json:"traffic"`
+}
+
+// MatrixCell is one non-zero directed entry of the communication matrix.
+type MatrixCell struct {
+	From int  `json:"from"`
+	To   int  `json:"to"`
+	Cell Cell `json:"traffic"`
+}
+
+// RegionCount is one (region, access-count) pair of a heat window.
+type RegionCount struct {
+	Base  string `json:"base"`
+	Count uint64 `json:"count"`
+}
+
+// HeatWindow is one time bucket of the address heatmap.
+type HeatWindow struct {
+	// Start is the window's first engine cycle.
+	Start uint64 `json:"start"`
+	// Regions lists the accessed regions, sorted by base.
+	Regions []RegionCount `json:"regions,omitempty"`
+	// Overflow counts accesses to regions beyond the per-window slot bound.
+	Overflow uint64 `json:"overflow,omitempty"`
+	// Total is the window's access count (sum of region counts + overflow).
+	Total uint64 `json:"total"`
+}
+
+// Heatmap is the bounded windowed address heatmap.
+type Heatmap struct {
+	// Window is the bucket width in engine cycles; RegionBytes the address
+	// granularity.
+	Window      uint64 `json:"window"`
+	RegionBytes int    `json:"region_bytes"`
+	// Windows holds the retained buckets, oldest first.
+	Windows []HeatWindow `json:"windows,omitempty"`
+	// DroppedWindows/DroppedAccesses count buckets evicted past the
+	// retention bound (their accesses still figure in conservation).
+	DroppedWindows  uint64 `json:"dropped_windows,omitempty"`
+	DroppedAccesses uint64 `json:"dropped_accesses,omitempty"`
+}
+
+// Summary is the collector's deterministic final report: it depends only on
+// the event stream, never on map iteration order or wall-clock time.
+type Summary struct {
+	// Masters is the platform's bus-master count (cores + DMA).
+	Masters int `json:"masters"`
+	// ClassCounts tallies lines per classification name.
+	ClassCounts map[string]int `json:"class_counts,omitempty"`
+	// FalseSharingLines counts the false-sharing candidates.
+	FalseSharingLines int `json:"false_sharing_lines,omitempty"`
+	// Lines lists every tracked line, sorted by base address.
+	Lines []LineSummary `json:"lines,omitempty"`
+	// OverflowTraffic aggregates lines beyond the tracking bound (nil when
+	// none overflowed).
+	OverflowTraffic *LineTraffic `json:"overflow_traffic,omitempty"`
+	// Matrix lists the non-zero communication cells, row-major by
+	// (from, to).
+	Matrix []MatrixCell `json:"matrix,omitempty"`
+	// Heatmap is the windowed address heatmap.
+	Heatmap Heatmap `json:"heatmap"`
+	// Totals are the raw event-stream tallies the per-line and per-cell
+	// counters sum back to.
+	Totals Totals `json:"totals"`
+}
+
+// Summary builds the deterministic report.  Call Finish first so the open
+// heat window is sealed; nil collectors return nil.
+func (c *Collector) Summary() *Summary {
+	if c == nil {
+		return nil
+	}
+	s := &Summary{
+		Masters: c.masters,
+		Heatmap: Heatmap{
+			Window:          c.window,
+			RegionBytes:     c.regionBytes,
+			DroppedWindows:  c.droppedWindows,
+			DroppedAccesses: c.droppedAccesses,
+		},
+		Totals: c.totals,
+	}
+	if len(c.states) > 0 {
+		s.ClassCounts = make(map[string]int)
+		s.Lines = make([]LineSummary, 0, len(c.states))
+		for i := range c.states {
+			st := &c.states[i]
+			ls := LineSummary{
+				Base:         fmt.Sprintf("0x%08x", st.base),
+				Class:        st.class().String(),
+				Readers:      bits.OnesCount64(st.readers),
+				Writers:      bits.OnesCount64(st.writers),
+				FalseSharing: st.falseSharing(),
+				Traffic:      st.traffic,
+			}
+			s.ClassCounts[ls.Class]++
+			if ls.FalseSharing {
+				s.FalseSharingLines++
+			}
+			s.Lines = append(s.Lines, ls)
+		}
+		sort.Slice(s.Lines, func(i, j int) bool { return s.Lines[i].Base < s.Lines[j].Base })
+	}
+	if c.overflowTraffic != (LineTraffic{}) {
+		ov := c.overflowTraffic
+		s.OverflowTraffic = &ov
+	}
+	for from := 0; from < c.masters; from++ {
+		for to := 0; to < c.masters; to++ {
+			cell := c.matrix[from*c.masters+to]
+			if !cell.zero() {
+				s.Matrix = append(s.Matrix, MatrixCell{From: from, To: to, Cell: cell})
+			}
+		}
+	}
+	for i := 0; i < c.ringLen; i++ {
+		w := &c.ring[(c.ringStart+i)%c.maxWindows]
+		hw := HeatWindow{Start: w.start, Overflow: w.overflow, Total: w.total}
+		for j := 0; j < w.used; j++ {
+			hw.Regions = append(hw.Regions, RegionCount{
+				Base:  fmt.Sprintf("0x%08x", w.regions[j]),
+				Count: w.counts[j],
+			})
+		}
+		sort.Slice(hw.Regions, func(a, b int) bool { return hw.Regions[a].Base < hw.Regions[b].Base })
+		s.Heatmap.Windows = append(s.Heatmap.Windows, hw)
+	}
+	return s
+}
+
+// Conserved checks the summary's conservation invariants — the per-line,
+// per-cell and per-window counters each sum exactly to the event-stream
+// totals — and returns a description of the first violation (empty when
+// conserved).  Property tests call this; it is how the classification layer
+// proves it lost no events.
+func (s *Summary) Conserved() string {
+	var lines LineTraffic
+	for i := range s.Lines {
+		lines.add(&s.Lines[i].Traffic)
+	}
+	if s.OverflowTraffic != nil {
+		lines.add(s.OverflowTraffic)
+	}
+	if got := lines.grants(); got != s.Totals.Grants {
+		return fmt.Sprintf("line grants %d != total grants %d", got, s.Totals.Grants)
+	}
+	if lines.Invalidations != s.Totals.Invalidations {
+		return fmt.Sprintf("line invalidations %d != total %d", lines.Invalidations, s.Totals.Invalidations)
+	}
+	if lines.Drains != s.Totals.Drains {
+		return fmt.Sprintf("line drains %d != total %d", lines.Drains, s.Totals.Drains)
+	}
+	if lines.Supplies != s.Totals.Supplies {
+		return fmt.Sprintf("line supplies %d != total %d", lines.Supplies, s.Totals.Supplies)
+	}
+	if lines.Converted != s.Totals.Converted {
+		return fmt.Sprintf("line converted %d != total %d", lines.Converted, s.Totals.Converted)
+	}
+	if got := lines.SharedOverrides + s.Totals.UnattributedOverrides; got != s.Totals.SharedOverrides {
+		return fmt.Sprintf("line shared-overrides %d != total %d", got, s.Totals.SharedOverrides)
+	}
+	var cells Cell
+	for i := range s.Matrix {
+		c := &s.Matrix[i].Cell
+		cells.Supplies += c.Supplies
+		cells.Drains += c.Drains
+		cells.Invalidations += c.Invalidations
+		cells.Converted += c.Converted
+	}
+	if cells.Supplies != s.Totals.Supplies || cells.Drains != s.Totals.Drains ||
+		cells.Invalidations != s.Totals.Invalidations || cells.Converted != s.Totals.Converted {
+		return fmt.Sprintf("matrix sums %+v != totals %+v", cells, s.Totals)
+	}
+	var heat uint64
+	for i := range s.Heatmap.Windows {
+		w := &s.Heatmap.Windows[i]
+		var inWindow uint64
+		for _, rc := range w.Regions {
+			inWindow += rc.Count
+		}
+		if inWindow+w.Overflow != w.Total {
+			return fmt.Sprintf("window @%d regions %d + overflow %d != total %d", w.Start, inWindow, w.Overflow, w.Total)
+		}
+		heat += w.Total
+	}
+	if heat+s.Heatmap.DroppedAccesses != s.Totals.Grants {
+		return fmt.Sprintf("heatmap accesses %d + dropped %d != total grants %d", heat, s.Heatmap.DroppedAccesses, s.Totals.Grants)
+	}
+	// Every line carries exactly one class, and the tallies agree.
+	classed := 0
+	for _, n := range s.ClassCounts {
+		classed += n
+	}
+	if classed != len(s.Lines) {
+		return fmt.Sprintf("class counts cover %d lines, have %d", classed, len(s.Lines))
+	}
+	return ""
+}
+
+// HotLines returns the indices of the n busiest lines (by granted-transfer
+// count, ties broken by base address) into s.Lines.
+func (s *Summary) HotLines(n int) []int {
+	if s == nil {
+		return nil
+	}
+	idx := make([]int, len(s.Lines))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ga, gb := s.Lines[idx[a]].Traffic.grants(), s.Lines[idx[b]].Traffic.grants()
+		if ga != gb {
+			return ga > gb
+		}
+		return s.Lines[idx[a]].Base < s.Lines[idx[b]].Base
+	})
+	if n > 0 && n < len(idx) {
+		idx = idx[:n]
+	}
+	return idx
+}
+
+// WriteJSONL exports the summary as one JSON object per line: a "line" row
+// per tracked line, a "cell" row per non-zero matrix entry, a "heat" row per
+// retained window, and one final "totals" row.
+func (s *Summary) WriteJSONL(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	wf := func(format string, args ...any) error {
+		if _, err := fmt.Fprintf(w, format, args...); err != nil {
+			return fmt.Errorf("sharing: jsonl write: %w", err)
+		}
+		return nil
+	}
+	for i := range s.Lines {
+		l := &s.Lines[i]
+		t := &l.Traffic
+		if err := wf(`{"row":"line","base":%q,"class":%q,"readers":%d,"writers":%d,"false_sharing":%v,`+
+			`"misses":%d,"upgrades":%d,"write_backs":%d,"word_ops":%d,"invalidations":%d,"drains":%d,"supplies":%d,"converted":%d,"shared_overrides":%d}`+"\n",
+			l.Base, l.Class, l.Readers, l.Writers, l.FalseSharing,
+			t.Misses, t.Upgrades, t.WriteBacks, t.WordOps, t.Invalidations, t.Drains, t.Supplies, t.Converted, t.SharedOverrides); err != nil {
+			return err
+		}
+	}
+	for i := range s.Matrix {
+		m := &s.Matrix[i]
+		if err := wf(`{"row":"cell","from":%d,"to":%d,"supplies":%d,"drains":%d,"invalidations":%d,"converted":%d}`+"\n",
+			m.From, m.To, m.Cell.Supplies, m.Cell.Drains, m.Cell.Invalidations, m.Cell.Converted); err != nil {
+			return err
+		}
+	}
+	for i := range s.Heatmap.Windows {
+		hw := &s.Heatmap.Windows[i]
+		if err := wf(`{"row":"heat","start":%d,"total":%d,"overflow":%d,"regions":[`, hw.Start, hw.Total, hw.Overflow); err != nil {
+			return err
+		}
+		for j, rc := range hw.Regions {
+			sep := ""
+			if j > 0 {
+				sep = ","
+			}
+			if err := wf(`%s{"base":%q,"count":%d}`, sep, rc.Base, rc.Count); err != nil {
+				return err
+			}
+		}
+		if err := wf("]}\n"); err != nil {
+			return err
+		}
+	}
+	return wf(`{"row":"totals","grants":%d,"snoop_hits":%d,"mem_accesses":%d,"invalidations":%d,"drains":%d,"supplies":%d,"converted":%d,"shared_overrides":%d,"false_sharing_lines":%d,"lines":%d,"dropped_windows":%d}`+"\n",
+		s.Totals.Grants, s.Totals.SnoopHits, s.Totals.MemAccesses, s.Totals.Invalidations, s.Totals.Drains,
+		s.Totals.Supplies, s.Totals.Converted, s.Totals.SharedOverrides, s.FalseSharingLines, len(s.Lines), s.Heatmap.DroppedWindows)
+}

@@ -32,6 +32,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // Ticker is the interface implemented by every simulated hardware block.
@@ -104,7 +105,31 @@ type Engine struct {
 	due     []uint64 // per registration: scheduled wake cycle (valid when pos >= 0)
 	pos     []int32  // per registration: index into heap, -1 when not scheduled
 	heap    []int32  // indexed binary min-heap of registration indices
+
+	sched    SchedStats
+	lastPass uint64
+	havePass bool
 }
+
+// SchedStats are the event scheduler's activity counters: how hard the wake
+// heap worked and how much idle time the scheduler actually skipped.  All
+// zero under the tick scheduler.
+type SchedStats struct {
+	// Wakes counts component ticks delivered (min-heap pops).
+	Wakes uint64
+	// Passes counts evaluated cycles (each pass is one non-idle cycle).
+	Passes uint64
+	// MaxHeapDepth is the high-water mark of pending wakes.
+	MaxHeapDepth int
+	// SkipBuckets is a log2 histogram of the cycle distance between
+	// consecutive evaluated passes: bucket i counts jumps d with
+	// bits.Len64(d) == i, so bucket 1 is adjacent cycles (nothing skipped)
+	// and higher buckets are idle gaps the scheduler jumped over.
+	SkipBuckets [65]uint64
+}
+
+// SchedStats returns a copy of the event-scheduler counters.
+func (e *Engine) SchedStats() SchedStats { return e.sched }
 
 // NewEngine returns an engine at cycle zero with no registered components.
 func NewEngine() *Engine {
@@ -252,6 +277,11 @@ func (e *Engine) runEvent(maxCycles uint64) error {
 		if t >= maxCycles {
 			break
 		}
+		if e.havePass {
+			e.sched.SkipBuckets[bits.Len64(t-e.lastPass)]++
+		}
+		e.lastPass, e.havePass = t, true
+		e.sched.Passes++
 		e.now = t
 		e.pass(t)
 		e.now = t + 1
@@ -297,6 +327,7 @@ func (e *Engine) pass(t uint64) {
 	walk := 0 // next registration index to consider for positional catch-up
 	for len(e.heap) > 0 && e.due[e.heap[0]] == t {
 		idx := e.popMin()
+		e.sched.Wakes++
 		i := int(idx)
 		e.passIdx = i
 		for ; walk < i; walk++ {
@@ -350,6 +381,9 @@ func (e *Engine) schedule(idx int32, at uint64) {
 	e.due[idx] = at
 	e.pos[idx] = int32(len(e.heap))
 	e.heap = append(e.heap, idx)
+	if len(e.heap) > e.sched.MaxHeapDepth {
+		e.sched.MaxHeapDepth = len(e.heap)
+	}
 	e.siftUp(len(e.heap) - 1)
 }
 

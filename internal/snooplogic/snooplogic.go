@@ -139,7 +139,10 @@ func (sl *SnoopLogic) SnoopBus(t *bus.Transaction) bus.SnoopReply {
 	}
 	sl.stats.Hits++
 	sl.mHits.Inc()
-	sl.events.SnoopHit(sl.owner, base, t.Kind.CoherenceOp())
+	// The ISR drains a modified line or invalidates a clean one: either way
+	// the shadowed copy leaves the cache (inval) behind a drain-and-retry
+	// (flush); the TAG CAM has no wrapper, so converted is never set.
+	sl.events.SnoopHit(sl.owner, base, t.Kind.CoherenceOp(), t.Master, true, false, true, false)
 	sl.pending[base] = true
 	sl.hitCycle[base] = sl.bus.Cycle()
 	sl.retried[base] = t.Master

@@ -1,0 +1,124 @@
+package hetcc_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"hetcc"
+)
+
+// TestSharingDigestEquivalence is the observer-effect gate for the sharing
+// collector: across the full 27-run matrix, under both schedulers, enabling
+// the collector must change no cycle count and no v1–v5 report byte — the
+// only difference between a sharing-off and a sharing-on run is the added
+// "sharing" section.  Every produced summary must also uphold the
+// conservation invariants (each touched line in exactly one class, per-line
+// and per-cell counters summing to the event-stream totals).
+func TestSharingDigestEquivalence(t *testing.T) {
+	for _, scheduler := range schedulerModes {
+		scheduler := scheduler
+		t.Run(scheduler, func(t *testing.T) {
+			baseline := determinismBatch(t, scheduler)
+			enabled := determinismBatch(t, scheduler)
+			for i := range enabled {
+				enabled[i].Config.Sharing = true
+			}
+			off := hetcc.RunBatch(baseline, hetcc.BatchOptions{Jobs: 4, Reports: true})
+			on := hetcc.RunBatch(enabled, hetcc.BatchOptions{Jobs: 4, Reports: true})
+			if err := hetcc.BatchFirstError(off); err != nil {
+				t.Fatalf("sharing-off batch failed: %v", err)
+			}
+			if err := hetcc.BatchFirstError(on); err != nil {
+				t.Fatalf("sharing-on batch failed: %v", err)
+			}
+			for i := range off {
+				a, b := off[i], on[i]
+				if a.Label != b.Label {
+					t.Fatalf("run %d: labels %q / %q diverged", i, a.Label, b.Label)
+				}
+				if a.Result.Cycles != b.Result.Cycles {
+					t.Errorf("%s: enabling the collector changed the cycle count: %d -> %d",
+						a.Label, a.Result.Cycles, b.Result.Cycles)
+				}
+				if a.Report.Sharing != nil {
+					t.Errorf("%s: sharing-off run carries a sharing section", a.Label)
+				}
+				s := b.Report.Sharing
+				if s == nil {
+					t.Errorf("%s: sharing-on run produced no summary", b.Label)
+					continue
+				}
+				if bad := s.Conserved(); bad != "" {
+					t.Errorf("%s: conservation violated: %s", b.Label, bad)
+				}
+				// Strip the v6 section: what remains must be byte-identical
+				// to the sharing-off report (v1–v5 fields unchanged).
+				stripped := *b.Report
+				stripped.Sharing = nil
+				rawOff, err := json.Marshal(a.Report)
+				if err != nil {
+					t.Fatalf("%s: marshal sharing-off report: %v", a.Label, err)
+				}
+				rawOn, err := json.Marshal(&stripped)
+				if err != nil {
+					t.Fatalf("%s: marshal stripped sharing-on report: %v", b.Label, err)
+				}
+				if !bytes.Equal(rawOff, rawOn) {
+					t.Errorf("%s: v1–v5 report bytes differ with the collector enabled:\n%s\n---\n%s",
+						a.Label, rawOff, rawOn)
+				}
+			}
+			dOff, err := hetcc.BatchDigest(off)
+			if err != nil {
+				t.Fatalf("sharing-off batch digest: %v", err)
+			}
+			if _, err := hetcc.BatchDigest(on); err != nil {
+				t.Fatalf("sharing-on batch digest: %v", err)
+			}
+			_ = dOff // the per-run byte comparison above is the real gate
+		})
+	}
+}
+
+// TestSharingContentOnContendedRun spot-checks summary content on a real
+// contended run: the WCS data lines under the proposed solution are written
+// by both masters in lock-protected turns, so they must classify migratory
+// and the communication matrix must show traffic in both directions.
+func TestSharingContentOnContendedRun(t *testing.T) {
+	res := hetcc.MustRun(hetcc.Config{
+		Scenario: hetcc.WCS,
+		Solution: hetcc.Proposed,
+		Params:   hetcc.Params{Lines: 8, ExecTime: 1, Iterations: 8},
+		Verify:   true,
+		Sharing:  true,
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	s := res.Sharing
+	if s == nil {
+		t.Fatal("no sharing summary on a sharing-enabled run")
+	}
+	if bad := s.Conserved(); bad != "" {
+		t.Fatalf("conservation violated: %s", bad)
+	}
+	if s.ClassCounts["migratory"] == 0 {
+		t.Fatalf("no migratory lines on a lock-stepped WCS run: %v", s.ClassCounts)
+	}
+	var dirs [2]bool
+	for _, m := range s.Matrix {
+		if m.From == 0 && m.To == 1 {
+			dirs[0] = true
+		}
+		if m.From == 1 && m.To == 0 {
+			dirs[1] = true
+		}
+	}
+	if !dirs[0] || !dirs[1] {
+		t.Fatalf("communication matrix missing a direction: %+v", s.Matrix)
+	}
+	if len(s.Heatmap.Windows) == 0 {
+		t.Fatal("no heat windows on a multi-thousand-cycle run")
+	}
+}
