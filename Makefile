@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify allocs bench bench-diff bench-explain bench-trend gobench bench-metrics bench-audit fmt vet lint observe
+.PHONY: all build test race verify allocs bench bench-diff bench-explain bench-trend gobench bench-metrics bench-audit fmt vet lint observe cover explore
 
 all: build
 
@@ -73,6 +73,32 @@ bench-metrics:
 
 bench-audit:
 	$(GO) test -run xxx -bench 'Benchmark(EventsDisabled|AuditEnabled)' -benchmem -count 5 .
+
+# Statement-coverage gate for the proof-bearing packages: the reduction rules
+# (internal/core) and the TAG-CAM snoop logic (internal/snooplogic) are what
+# the explorer's guarantees rest on, so their coverage has an enforced floor.
+# Writes cover.out (full-repo profile) for the CI artifact.
+COVER_FLOOR_CORE    ?= 90
+COVER_FLOOR_SNOOP   ?= 90
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@$(GO) test -cover ./internal/core ./internal/snooplogic | tee cover-floor.txt
+	@awk -v floor_core=$(COVER_FLOOR_CORE) -v floor_snoop=$(COVER_FLOOR_SNOOP) ' \
+		/hetcc\/internal\/core/      { pct=$$0; sub(/.*coverage: /, "", pct); sub(/%.*/, "", pct); \
+			if (pct+0 < floor_core)  { printf "cover: internal/core %.1f%% below floor %d%%\n", pct, floor_core; bad=1 } } \
+		/hetcc\/internal\/snooplogic/ { pct=$$0; sub(/.*coverage: /, "", pct); sub(/%.*/, "", pct); \
+			if (pct+0 < floor_snoop) { printf "cover: internal/snooplogic %.1f%% below floor %d%%\n", pct, floor_snoop; bad=1 } } \
+		END { exit bad }' cover-floor.txt
+	@rm -f cover-floor.txt
+	@echo "coverage floors hold (core >= $(COVER_FLOOR_CORE)%, snooplogic >= $(COVER_FLOOR_SNOOP)%)"
+
+# Exhaustive reachability proof of the reduction table: every 2-master
+# protocol multiset, wrapped (must be violation-free) and un-wired (must
+# exhibit the defects the wrappers remove).  Exit non-zero on any breach,
+# frontier overflow, or blown budget.
+explore:
+	$(GO) run ./cmd/protocheck -explore
 
 # Static analysis beyond go vet.  Runs staticcheck when it is on PATH and
 # is a no-op otherwise, so the target works in minimal containers; CI

@@ -413,12 +413,20 @@ func runTrend(argv []string) int {
 
 	// Wall-clock columns spanning toolchains are not comparable; say so
 	// once up front (cycle counts are machine-independent either way).
-	for i := 1; i < len(points); i++ {
-		a, b := points[i-1].file, points[i].file
-		if !a.Manifest.SameToolchain(b.Manifest) {
-			fmt.Printf("warning: %s and %s were recorded on different toolchains — ns/op columns are not comparable\n",
-				a.Rev, b.Rev)
+	// Manifest-less files (pre-v5) carry no toolchain claim: they neither
+	// trigger a warning themselves nor mask a genuine mismatch between the
+	// recorded manifests on either side of them, so each recorded manifest
+	// is compared against the last recorded one, not its literal neighbour.
+	var lastRecorded *point
+	for i := range points {
+		if points[i].file.Manifest == nil {
+			continue
 		}
+		if lastRecorded != nil && !lastRecorded.file.Manifest.SameToolchain(points[i].file.Manifest) {
+			fmt.Printf("warning: %s and %s were recorded on different toolchains — ns/op columns are not comparable\n",
+				lastRecorded.file.Rev, points[i].file.Rev)
+		}
+		lastRecorded = &points[i]
 	}
 
 	solutions := []string{"cache-disabled", "software", "proposed"}

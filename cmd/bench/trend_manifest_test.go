@@ -1,0 +1,85 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hetcc/internal/platform"
+)
+
+// writeTrendDir lays out the named files (in trend's filename order after the
+// seed) in one temp dir and returns it.
+func writeTrendDir(t *testing.T, files map[string]File) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, f := range files {
+		d, err := digest(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Digest = d
+		if err := writeFile(filepath.Join(dir, name), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestTrendManifestlessFilesAreQuiet: pre-v5 BENCH files carry no manifest at
+// all; rendering them next to manifested files recorded on one toolchain must
+// produce clean output with no toolchain-mismatch warning.
+func TestTrendManifestlessFilesAreQuiet(t *testing.T) {
+	seed := sampleFile(1000)
+	seed.Rev = "seed" // manifest-less, as the committed pre-v5 seed is
+	a := sampleFile(990)
+	a.Rev = "pr7"
+	a.Manifest = &platform.Manifest{SchemaVersion: 5, GoVersion: "go1.24.0", ModuleVersion: "(devel)"}
+	b := sampleFile(980)
+	b.Rev = "pr8"
+	b.Manifest = &platform.Manifest{SchemaVersion: 6, GoVersion: "go1.24.0", ModuleVersion: "(devel)"}
+
+	dir := writeTrendDir(t, map[string]File{
+		"BENCH_seed.json": seed, "BENCH_pr7.json": a, "BENCH_pr8.json": b,
+	})
+	out, code := captureStdout(t, func() int { return runTrend([]string{"-dir", dir}) })
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	if strings.Contains(out, "warning") {
+		t.Fatalf("spurious warning for a manifest-less file:\n%s", out)
+	}
+	for _, rev := range []string{"seed", "pr7", "pr8"} {
+		if !strings.Contains(out, rev) {
+			t.Fatalf("rev %s not rendered:\n%s", rev, out)
+		}
+	}
+}
+
+// TestTrendManifestlessGapDoesNotMaskMismatch: a manifest-less file sitting
+// between two files recorded on different toolchains must not swallow the
+// genuine warning — recorded manifests are compared across the gap.
+func TestTrendManifestlessGapDoesNotMaskMismatch(t *testing.T) {
+	first := sampleFile(1000)
+	first.Rev = "seed"
+	first.Manifest = &platform.Manifest{SchemaVersion: 5, GoVersion: "go1.0-old", ModuleVersion: "(devel)"}
+	gap := sampleFile(995)
+	gap.Rev = "pr7" // pre-v5: no manifest
+	last := sampleFile(990)
+	last.Rev = "pr8"
+	last.Manifest = &platform.Manifest{SchemaVersion: 6, GoVersion: "go9.9-other", ModuleVersion: "(devel)"}
+
+	dir := writeTrendDir(t, map[string]File{
+		"BENCH_seed.json": first, "BENCH_pr7.json": gap, "BENCH_pr8.json": last,
+	})
+	out, code := captureStdout(t, func() int { return runTrend([]string{"-dir", dir}) })
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "different toolchains") {
+		t.Fatalf("genuine toolchain mismatch masked by the manifest-less gap:\n%s", out)
+	}
+	if !strings.Contains(out, "seed") || !strings.Contains(out, "pr8") {
+		t.Fatalf("warning does not name the mismatching revs:\n%s", out)
+	}
+}

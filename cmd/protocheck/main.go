@@ -11,9 +11,19 @@
 //	protocheck -replay             # also replay Tables 2/3 on the full simulator
 //	protocheck -audit              # machine-verify the reduction table on live runs
 //	protocheck -audit -jobs 8      # ... fanned across 8 simulation workers
+//	protocheck -explore            # exhaustive BFS over every 2-master product FSM
+//	protocheck -explore -protocols MESI,NONE   # one combination, all hardware modes
+//	protocheck -explore -graph states.jsonl    # ...dumping the full state graph
+//
+// -explore enumerates every reachable state of the abstract protocol product
+// machine (internal/explore) rather than simulating workloads: with wrappers
+// it proves the reduction table over the whole reachable set, and without
+// them it exhibits the staleness defects the wrappers exist to remove.
+// NONE marks a master with no coherence hardware (TAG-CAM snoop logic).
 //
 // Any verification failure — a model-check violation of the requested
-// combination, or a live-run audit violation — makes the command exit
+// combination, a live-run audit violation, an exploration invariant breach,
+// a frontier overflow, or a blown -explore-budget — makes the command exit
 // non-zero.
 package main
 
@@ -23,10 +33,12 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"hetcc"
 	"hetcc/internal/coherence"
 	"hetcc/internal/core"
+	"hetcc/internal/explore"
 	"hetcc/internal/platform"
 	"hetcc/internal/stats"
 )
@@ -35,10 +47,14 @@ var jobs = flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers for t
 
 func main() {
 	var (
-		protoFlag = flag.String("protocols", "", "comma-separated protocol list (MEI, MSI, MESI, MOESI, Dragon); empty = full pairwise matrix")
-		replay    = flag.Bool("replay", false, "replay the paper's Table 2/3 sequences on the cycle-level simulator")
-		auditRun  = flag.Bool("audit", false, "run the protocol-pair matrix and the paper's platforms on the cycle-level simulator with the invariant auditor, checking observed states against the reduction table")
-		dotFlag   = flag.String("dot", "", "print the named protocol's state machine as a Graphviz digraph and exit")
+		protoFlag  = flag.String("protocols", "", "comma-separated protocol list (MEI, MSI, MESI, MOESI, Dragon; plus NONE with -explore); empty = full pairwise matrix")
+		replay     = flag.Bool("replay", false, "replay the paper's Table 2/3 sequences on the cycle-level simulator")
+		auditRun   = flag.Bool("audit", false, "run the protocol-pair matrix and the paper's platforms on the cycle-level simulator with the invariant auditor, checking observed states against the reduction table")
+		dotFlag    = flag.String("dot", "", "print the named protocol's state machine as a Graphviz digraph and exit")
+		exploreRun = flag.Bool("explore", false, "exhaustively enumerate the reachable states of the abstract protocol product machine, proving the reduction table (or, with -protocols, one combination in every hardware mode)")
+		graphFlag  = flag.String("graph", "", "with -explore: write the explored state graph as JSONL to this file")
+		budget     = flag.Duration("explore-budget", 60*time.Second, "with -explore: wall-clock budget for the full matrix sweep")
+		maxStates  = flag.Int("max-states", explore.DefaultMaxStates, "with -explore: frontier bound per exploration (overflow fails the sweep)")
 	)
 	flag.Parse()
 
@@ -46,6 +62,20 @@ func main() {
 		kinds, err := parseProtocols(*dotFlag + "," + *dotFlag) // reuse the 2..4 parser
 		fatalIf(err)
 		fmt.Print(coherence.New(kinds[0]).Dot())
+		return
+	}
+
+	if *exploreRun {
+		if *protoFlag != "" {
+			kinds, err := parseProtocols(*protoFlag)
+			fatalIf(err)
+			if len(kinds) > explore.MaxMasters {
+				fatalIf(fmt.Errorf("-explore supports at most %d masters, got %d", explore.MaxMasters, len(kinds)))
+			}
+			fatalIf(exploreOne(kinds, *graphFlag, *maxStates))
+		} else {
+			fatalIf(exploreMatrix(*graphFlag, *budget, *maxStates))
+		}
 		return
 	}
 
@@ -296,6 +326,10 @@ func parseProtocols(s string) ([]coherence.Kind, error) {
 			out = append(out, coherence.MOESI)
 		case "DRAGON":
 			out = append(out, coherence.Dragon)
+		case "NONE":
+			// A master without coherence hardware — meaningful to -explore
+			// (and to core.Reduce, which plans snoop logic for it).
+			out = append(out, coherence.None)
 		default:
 			return nil, fmt.Errorf("unknown protocol %q", part)
 		}

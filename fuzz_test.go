@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"hetcc"
+	"hetcc/internal/coherence"
 	"hetcc/internal/platform"
 	"hetcc/internal/workload"
 )
@@ -23,9 +24,25 @@ func FuzzSchedulerEquivalence(f *testing.F) {
 	f.Add(2, 2, 1, uint64(7), 1)
 	f.Add(1, 0, 2, uint64(3), 3)
 	f.Add(0, 2, 2, uint64(9), 4)
+	// Heterogeneous edge cases beyond the case-study platforms: an
+	// update×invalidate mix (rejected by the reduction — both schedulers
+	// must agree on the rejection) and a coherence-less master beside a
+	// shared-state protocol (the PF2 implicit-MEI reduction).
+	f.Add(3, 0, 2, uint64(11), 0)
+	f.Add(3, 1, 1, uint64(13), 1)
+	f.Add(4, 0, 2, uint64(17), 0)
+	f.Add(4, 2, 0, uint64(19), 2)
 	f.Fuzz(func(t *testing.T, pf, scenario, solution int, seed uint64, lockKind int) {
 		presets := [][]platform.ProcessorSpec{
 			platform.ARMPair(), platform.PPCARm(), platform.PPCI486(),
+			{
+				platform.Generic("P0-Dragon", coherence.Dragon, 1),
+				platform.Generic("P1-MOESI", coherence.MOESI, 1),
+			},
+			{
+				platform.Generic("P0-none", coherence.None, 1),
+				platform.Generic("P1-MESI", coherence.MESI, 1),
+			},
 		}
 		scenarios := workload.Scenarios()
 		solutions := platform.Solutions()

@@ -206,6 +206,19 @@ func Reduce(protocols []coherence.Kind) (Integration, error) {
 		return Integration{}, fmt.Errorf("core: the update-based Dragon protocol cannot be integrated with %v: the wrapper method covers invalidation-based protocols only", kinds)
 	}
 
+	// A PF2 platform implicitly contains MEI: a coherence-less processor's
+	// private cache allocates exclusively and upgrades to Modified without
+	// bus traffic (it has no shared-signal input), which is exactly an MEI
+	// cache as far as the other processors can observe.  Any shared-state
+	// protocol alongside it must therefore be reduced as an MEI mix
+	// (Section 2.1 applied to the implicit MEI) — otherwise a coherent
+	// processor can keep an S copy across the coherence-less master's
+	// silent E→M write hit and read stale data.  The state-space explorer
+	// (internal/explore) finds that defect in a five-action trace.
+	if class == PF2 && len(kinds) > 0 && !has(kinds, MEIKind) {
+		kinds = append(kinds, MEIKind)
+	}
+
 	switch {
 	case len(kinds) == 0:
 		// PF1: caches behave as private MEI-like caches; coherence comes

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"hetcc/internal/coherence"
+)
+
+// TestReducePF2ImplicitMEI: a coherence-less processor's private cache
+// behaves as MEI (exclusive allocation, silent E→M write hits), so a PF2
+// platform mixing it with a shared-state protocol must reduce as an MEI mix
+// — read-to-write conversion plus force-deassert on the coherent side.
+// Without that, the coherent processor keeps an S copy across the
+// coherence-less master's silent write and reads stale data; the state-space
+// explorer (internal/explore) exhibits the trace.
+func TestReducePF2ImplicitMEI(t *testing.T) {
+	for _, k := range []coherence.Kind{coherence.MSI, coherence.MESI, coherence.MOESI} {
+		integ, err := Reduce([]coherence.Kind{k, coherence.None})
+		if err != nil {
+			t.Fatalf("%v+none: %v", k, err)
+		}
+		if integ.Class != PF2 {
+			t.Errorf("%v+none: class %v", k, integ.Class)
+		}
+		if integ.Effective != coherence.MEI {
+			t.Errorf("%v+none: effective %v, want MEI (implicit in the coherence-less cache)", k, integ.Effective)
+		}
+		pol := integ.Policies[0]
+		if !pol.ConvertReadToWrite || pol.Shared != SharedForceDeassert {
+			t.Errorf("%v+none: coherent policy %v, want read-to-write conversion with force-deassert", k, pol)
+		}
+		if pol.AllowCacheToCache {
+			t.Errorf("%v+none: cache-to-cache must be suppressed", k)
+		}
+	}
+
+	// MEI+none keeps the plain homogeneous reduction: MEI needs neither
+	// conversion nor the shared signal, so the policies stay passthrough
+	// (pinning this keeps the PF2 case-study digests stable).
+	integ, err := Reduce([]coherence.Kind{coherence.MEI, coherence.None})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if integ.Effective != coherence.MEI || integ.Policies[0] != (WrapperPolicy{}) {
+		t.Errorf("MEI+none: effective %v policy %v, want plain MEI passthrough", integ.Effective, integ.Policies[0])
+	}
+
+	// Three masters, two coherent shared-state protocols plus a
+	// coherence-less one: still an MEI mix.
+	integ, err = Reduce([]coherence.Kind{coherence.MESI, coherence.MOESI, coherence.None})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if integ.Effective != coherence.MEI {
+		t.Errorf("MESI+MOESI+none: effective %v, want MEI", integ.Effective)
+	}
+}

@@ -1,0 +1,129 @@
+package snooplogic
+
+// This file exports the snoop logic's transition relation in table form, so
+// the state-space explorer of internal/explore (and the documentation) can
+// consume the exact guarded-action rules the executable code implements,
+// rather than re-deriving them.  table_test.go drives a real SnoopLogic
+// through every rule and asserts the observable behaviour matches, keeping
+// the table and the implementation from drifting apart.
+//
+// The guard state is one shadowed line's (cam, pending) pair:
+//
+//	cam     — the TAG CAM holds an entry for the line (possibly stale:
+//	          clean cache drops are invisible on the bus)
+//	pending — an ISR drain/invalidate for the line is outstanding
+//
+// The CAM capacity bound is deliberately not part of the table: overflow
+// picks a victim line and then follows the ordinary ISR rules for it
+// (RaiseFIQ → EvOwnWriteBack/EvISRComplete); it changes which line an event
+// happens to, never what an event does.
+
+// Event is a stimulus at the snoop logic's interface for one line.
+type Event uint8
+
+const (
+	// EvOwnFill: the shadowed processor's line fill (ReadLine/ReadLineOwn)
+	// completed on the bus.
+	EvOwnFill Event = iota
+	// EvOwnWriteBack: the shadowed processor's write-back (WriteLine)
+	// completed — eviction, ISR drain, or software clean.
+	EvOwnWriteBack
+	// EvForeignMatch: another master's transaction matched the line.
+	EvForeignMatch
+	// EvISRComplete: the ISR signalled Complete for the line.
+	EvISRComplete
+	// EvNoteInvalidate: software reported dropping a clean copy of the line
+	// (NoteInvalidate), tightening the CAM without a bus write-back.
+	EvNoteInvalidate
+)
+
+// String names the event.
+func (e Event) String() string {
+	switch e {
+	case EvOwnFill:
+		return "own-fill"
+	case EvOwnWriteBack:
+		return "own-writeback"
+	case EvForeignMatch:
+		return "foreign-match"
+	case EvISRComplete:
+		return "isr-complete"
+	case EvNoteInvalidate:
+		return "note-invalidate"
+	default:
+		return "Event(?)"
+	}
+}
+
+// Rule is one guarded action of the snoop logic: when the line's guard state
+// matches (CAM, Pending) and Event occurs, the listed outputs fire and the
+// guard state moves to (NextCAM, NextPending).
+type Rule struct {
+	Name string
+
+	// Guard.
+	CAM     bool
+	Pending bool
+	Event   Event
+
+	// Outputs.
+	Retry    bool // the foreign transaction is ARTRYed (with drain qualifier)
+	RaiseFIQ bool // nFIQ is raised (at most once per outstanding ISR)
+
+	// Next guard state.
+	NextCAM     bool
+	NextPending bool
+}
+
+// Table returns the snoop logic's complete transition relation over the
+// reachable guard states.  The pairs (cam=false, pending=false) through
+// (cam=false, pending=true) are all reachable: the last one arises when the
+// ISR's own drain write-back clears the CAM entry before Complete is called.
+// The only omitted guard/event combination is an own fill while that same
+// line's ISR is pending — the shadowed CPU is inside the ISR draining the
+// line and cannot simultaneously be filling it.
+func Table() []Rule {
+	f, t := false, true
+	return []Rule{
+		// Own fills shadow the cache: insert on first fill, idempotent after.
+		{Name: "fill-insert", CAM: f, Pending: f, Event: EvOwnFill, NextCAM: t, NextPending: f},
+		{Name: "fill-idempotent", CAM: t, Pending: f, Event: EvOwnFill, NextCAM: t, NextPending: f},
+
+		// Write-backs un-shadow: the line left the cache.  During an ISR the
+		// drain write-back clears the CAM but the ARTRY condition holds until
+		// Complete.  A write-back of an untracked line is a no-op.
+		{Name: "writeback-remove", CAM: t, Pending: f, Event: EvOwnWriteBack, NextCAM: f, NextPending: f},
+		{Name: "isr-drain-writeback", CAM: t, Pending: t, Event: EvOwnWriteBack, NextCAM: f, NextPending: t},
+		{Name: "writeback-untracked", CAM: f, Pending: f, Event: EvOwnWriteBack, NextCAM: f, NextPending: f},
+
+		// Foreign transactions: a CAM match ARTRYs and raises nFIQ once; while
+		// the ISR is pending every re-snoop keeps ARTRYing without a new FIQ
+		// (even after the drain write-back already cleared the CAM entry).  A
+		// miss passes the transaction through untouched.
+		{Name: "foreign-miss", CAM: f, Pending: f, Event: EvForeignMatch, NextCAM: f, NextPending: f},
+		{Name: "foreign-hit", CAM: t, Pending: f, Event: EvForeignMatch, Retry: t, RaiseFIQ: t, NextCAM: t, NextPending: t},
+		{Name: "foreign-retry-pending", CAM: t, Pending: t, Event: EvForeignMatch, Retry: t, NextCAM: t, NextPending: t},
+		{Name: "foreign-retry-drained", CAM: f, Pending: t, Event: EvForeignMatch, Retry: t, NextCAM: f, NextPending: t},
+
+		// ISR completion clears the ARTRY condition and any leftover CAM entry
+		// (the invalidate path never produced a write-back), whether or not
+		// the drain write-back already removed it.
+		{Name: "isr-complete", CAM: t, Pending: t, Event: EvISRComplete, NextCAM: f, NextPending: f},
+		{Name: "isr-complete-after-drain", CAM: f, Pending: t, Event: EvISRComplete, NextCAM: f, NextPending: f},
+
+		// Software invalidate tightens the CAM without bus traffic.
+		{Name: "software-invalidate", CAM: t, Pending: f, Event: EvNoteInvalidate, NextCAM: f, NextPending: f},
+		{Name: "software-invalidate-miss", CAM: f, Pending: f, Event: EvNoteInvalidate, NextCAM: f, NextPending: f},
+	}
+}
+
+// Lookup returns the rule matching the guard (cam, pending, event), or false
+// if the combination is unreachable (see Table).
+func Lookup(cam, pending bool, ev Event) (Rule, bool) {
+	for _, r := range Table() {
+		if r.CAM == cam && r.Pending == pending && r.Event == ev {
+			return r, true
+		}
+	}
+	return Rule{}, false
+}

@@ -1,0 +1,124 @@
+package snooplogic
+
+import (
+	"testing"
+
+	"hetcc/internal/bus"
+)
+
+// TestTableMirrorsImplementation drives a real SnoopLogic through every rule
+// of Table(): arrange the guard state, fire the event at the block's
+// interface, and assert the observable outputs and next guard state match
+// the table row.  This is what lets internal/explore trust the table.
+func TestTableMirrorsImplementation(t *testing.T) {
+	const base uint32 = 0x1000
+	fill := bus.Transaction{Kind: bus.ReadLine, Addr: base, Words: 8}
+	writeBack := bus.Transaction{Kind: bus.WriteLine, Addr: base, Data: make([]uint32, 8)}
+
+	for _, r := range Table() {
+		r := r
+		t.Run(r.Name, func(t *testing.T) {
+			bn := newBench(t)
+			own := func(tx bus.Transaction) *bus.Transaction {
+				tx.Master = bn.owner
+				return &tx
+			}
+			foreign := func(tx bus.Transaction) *bus.Transaction {
+				tx.Master = bn.other
+				return &tx
+			}
+
+			// Arrange the guard state.
+			if r.CAM || r.Pending {
+				bn.sl.observe(own(fill), bus.Result{})
+			}
+			if r.Pending {
+				if rep := bn.sl.SnoopBus(foreign(fill)); !rep.Retry {
+					t.Fatal("setup: CAM hit did not retry")
+				}
+				if !r.CAM {
+					// (cam=false, pending=true): the ISR's drain write-back
+					// already cleared the entry.
+					bn.sl.observe(own(writeBack), bus.Result{})
+				}
+			}
+			gotCAM, gotPend := bn.sl.Holds(base), len(bn.sl.PendingLines()) > 0
+			if gotCAM != r.CAM || gotPend != r.Pending {
+				t.Fatalf("setup reached guard (cam=%v pending=%v), want (%v %v)", gotCAM, gotPend, r.CAM, r.Pending)
+			}
+			fiqsBefore := len(bn.cpu.fiqs)
+
+			// Fire the event.
+			retried := false
+			switch r.Event {
+			case EvOwnFill:
+				bn.sl.observe(own(fill), bus.Result{})
+			case EvOwnWriteBack:
+				bn.sl.observe(own(writeBack), bus.Result{})
+			case EvForeignMatch:
+				retried = bn.sl.SnoopBus(foreign(fill)).Retry
+			case EvISRComplete:
+				bn.sl.Complete(base, true)
+			case EvNoteInvalidate:
+				bn.sl.NoteInvalidate(base)
+			}
+
+			// Assert the row.
+			if retried != r.Retry {
+				t.Errorf("retry = %v, table says %v", retried, r.Retry)
+			}
+			if raised := len(bn.cpu.fiqs) > fiqsBefore; raised != r.RaiseFIQ {
+				t.Errorf("FIQ raised = %v, table says %v", raised, r.RaiseFIQ)
+			}
+			if got := bn.sl.Holds(base); got != r.NextCAM {
+				t.Errorf("next cam = %v, table says %v", got, r.NextCAM)
+			}
+			if got := len(bn.sl.PendingLines()) > 0; got != r.NextPending {
+				t.Errorf("next pending = %v, table says %v", got, r.NextPending)
+			}
+		})
+	}
+}
+
+// TestTableIsDeterministicAndComplete checks the table is a function of the
+// guard — no two rules share (cam, pending, event) — and that every guard
+// combination is covered except the documented own-fill-while-pending hole.
+func TestTableIsDeterministicAndComplete(t *testing.T) {
+	type guard struct {
+		cam, pending bool
+		ev           Event
+	}
+	seen := map[guard]string{}
+	for _, r := range Table() {
+		g := guard{r.CAM, r.Pending, r.Event}
+		if prev, dup := seen[g]; dup {
+			t.Errorf("rules %q and %q share guard %+v", prev, r.Name, g)
+		}
+		seen[g] = r.Name
+	}
+	events := []Event{EvOwnFill, EvOwnWriteBack, EvForeignMatch, EvISRComplete, EvNoteInvalidate}
+	for _, cam := range []bool{false, true} {
+		for _, pending := range []bool{false, true} {
+			for _, ev := range events {
+				_, ok := Lookup(cam, pending, ev)
+				switch {
+				// The shadowed CPU is inside the ISR: it cannot fill the line,
+				// drop it with software, and Complete without pending is
+				// meaningless.  Write-backs of half-drained guard states are
+				// covered where reachable.
+				case ev == EvOwnFill && pending,
+					ev == EvNoteInvalidate && pending,
+					ev == EvISRComplete && !pending,
+					ev == EvOwnWriteBack && !cam && pending:
+					if ok {
+						t.Errorf("unreachable guard (cam=%v pending=%v %v) has a rule", cam, pending, ev)
+					}
+				default:
+					if !ok {
+						t.Errorf("reachable guard (cam=%v pending=%v %v) has no rule", cam, pending, ev)
+					}
+				}
+			}
+		}
+	}
+}

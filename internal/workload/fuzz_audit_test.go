@@ -3,9 +3,11 @@ package workload_test
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"testing"
 
 	"hetcc"
+	"hetcc/internal/coherence"
 	"hetcc/internal/platform"
 	"hetcc/internal/workload"
 )
@@ -37,14 +39,31 @@ func FuzzAuditedRuns(f *testing.F) {
 			Seed:         seed,
 		}
 		presets := []struct {
-			name  string
-			procs []platform.ProcessorSpec
+			name   string
+			procs  []platform.ProcessorSpec
+			reject bool // core.Reduce must refuse the protocol mix
 		}{
-			{"pf1", platform.ARMPair()},
-			{"pf2", platform.PPCARm()},
-			{"pf3", platform.PPCI486()},
+			{"pf1", platform.ARMPair(), false},
+			{"pf2", platform.PPCARm(), false},
+			{"pf3", platform.PPCI486(), false},
+			// An update×invalidate mix: the reduction rejects it under
+			// every solution (Reduce runs at platform build, before the
+			// coherence strategy is wired).
+			{"dragon-moesi", []platform.ProcessorSpec{
+				platform.Generic("P0-Dragon", coherence.Dragon, 1),
+				platform.Generic("P1-MOESI", coherence.MOESI, 1),
+			}, true},
+			// A coherence-less master beside MESI: the PF2 implicit-MEI
+			// reduction must keep it coherent under every solution.
+			{"none-mesi", []platform.ProcessorSpec{
+				platform.Generic("P0-none", coherence.None, 1),
+				platform.Generic("P1-MESI", coherence.MESI, 1),
+			}, false},
 		}
-		var specs []hetcc.BatchSpec
+		var (
+			specs   []hetcc.BatchSpec
+			rejects []bool
+		)
 		for _, pf := range presets {
 			for _, scenario := range workload.Scenarios() {
 				for _, sol := range platform.Solutions() {
@@ -60,10 +79,24 @@ func FuzzAuditedRuns(f *testing.F) {
 							MaxCycles:  5_000_000,
 						},
 					})
+					rejects = append(rejects, pf.reject)
 				}
 			}
 		}
-		for _, r := range hetcc.RunBatch(specs, hetcc.BatchOptions{Jobs: runtime.GOMAXPROCS(0)}) {
+		for i, r := range hetcc.RunBatch(specs, hetcc.BatchOptions{Jobs: runtime.GOMAXPROCS(0)}) {
+			if rejects[i] {
+				err := r.Err
+				if err == nil && r.Result.Err != nil {
+					err = r.Result.Err
+				}
+				if err == nil {
+					t.Fatalf("%s: update-based mix was accepted, want a reduction rejection", r.Label)
+				}
+				if !strings.Contains(err.Error(), "Dragon") {
+					t.Fatalf("%s: rejection %v does not name the Dragon protocol", r.Label, err)
+				}
+				continue
+			}
 			if r.Err != nil {
 				t.Fatalf("%s: %v", r.Label, r.Err)
 			}
